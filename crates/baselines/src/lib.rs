@@ -1,0 +1,28 @@
+//! # lstore-baselines
+//!
+//! The two comparator storage architectures of the paper's evaluation (§6.1),
+//! implemented under the same fairness constraints the authors list —
+//! columnar storage, a single primary index, an embedded indirection column,
+//! updated-columns-only history/delta, range partitioning, logging off:
+//!
+//! * [`iuh::IuhEngine`] — **In-place Update + History**: the latest version
+//!   lives in the main table and is updated in place under page latches;
+//!   old values are appended to a history table (Oracle Flashback Archive
+//!   style). Readers take shared page latches; writers take exclusive ones —
+//!   the contention L-Store eliminates.
+//! * [`dbm::DbmEngine`] — **Delta + Blocking Merge**: a read-only main store
+//!   plus per-range columnar delta stores (SAP HANA style); the periodic
+//!   merge "requires the draining of all active transactions before the
+//!   merge begins and after the merge ends".
+//! * [`lstore_engine::LStoreEngine`] — adapter putting the real L-Store
+//!   behind the same [`Engine`] trait so all three run identical workloads.
+
+pub mod dbm;
+pub mod engine;
+pub mod iuh;
+pub mod lstore_engine;
+
+pub use dbm::DbmEngine;
+pub use engine::Engine;
+pub use iuh::IuhEngine;
+pub use lstore_engine::LStoreEngine;

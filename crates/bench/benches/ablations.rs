@@ -1,0 +1,76 @@
+//! Criterion ablations: update-range size, cumulative updates, codec choice.
+
+mod common;
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lstore::TableConfig;
+use lstore_baselines::{Engine, LStoreEngine};
+use lstore_bench::workload::{Contention, Workload};
+use lstore_storage::compress::CodecChoice;
+
+fn bench(c: &mut Criterion) {
+    let cfg = common::config(Contention::Medium);
+
+    let mut group = c.benchmark_group("ablation_range_size");
+    group.sample_size(10);
+    for bits in [10u32, 12, 14] {
+        let engine = Arc::new(LStoreEngine::with_config(
+            TableConfig::default().with_range_size(1 << bits),
+        ));
+        engine.populate(cfg.rows, cfg.cols);
+        let mut wl = Workload::new(cfg.clone(), 0);
+        group.bench_function(format!("update/range=2^{bits}"), |b| {
+            b.iter(|| {
+                let t = wl.next_txn(None);
+                std::hint::black_box(engine.update_transaction(&t.reads, &t.writes))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_cumulative");
+    group.sample_size(10);
+    for cumulative in [true, false] {
+        let engine = Arc::new(LStoreEngine::with_config(
+            TableConfig::default()
+                .with_cumulative(cumulative)
+                .with_auto_merge(false),
+        ));
+        engine.populate(cfg.rows, cfg.cols);
+        let mut wl = Workload::new(cfg.clone(), 0);
+        for _ in 0..5_000 {
+            let t = wl.next_txn(None);
+            engine.update_transaction(&t.reads, &t.writes);
+        }
+        let label = if cumulative { "cumulative" } else { "non-cumulative" };
+        group.bench_function(format!("point_read/{label}"), |b| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 7919) % cfg.contention.active_set(cfg.rows);
+                std::hint::black_box(engine.point_read(k, &[0, 1, 2, 3]))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_codec");
+    group.sample_size(10);
+    for (name, codec) in [
+        ("auto", CodecChoice::Auto),
+        ("none", CodecChoice::None),
+    ] {
+        let engine = Arc::new(LStoreEngine::with_config(
+            TableConfig::default().with_codec(codec),
+        ));
+        engine.populate(cfg.rows, cfg.cols);
+        group.bench_function(format!("scan/{name}"), |b| {
+            b.iter(|| std::hint::black_box(engine.scan_sum(0, 0, cfg.rows - 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Shared Criterion bench setup (reduced scale so `cargo bench` finishes).
+
+use std::sync::Arc;
+
+use lstore_baselines::{DbmEngine, Engine, IuhEngine, LStoreEngine};
+use lstore_bench::workload::{Contention, WorkloadConfig};
+
+/// Reduced-scale row count for Criterion runs.
+pub const ROWS: u64 = 20_000;
+
+/// Workload config at reduced scale.
+pub fn config(contention: Contention) -> WorkloadConfig {
+    WorkloadConfig {
+        rows: ROWS,
+        contention,
+        ..WorkloadConfig::default()
+    }
+}
+
+/// All three architectures, populated.
+#[allow(dead_code)]
+pub fn engines(cfg: &WorkloadConfig) -> Vec<Arc<dyn Engine>> {
+    let list: Vec<Arc<dyn Engine>> = vec![
+        Arc::new(LStoreEngine::new()),
+        Arc::new(IuhEngine::new()),
+        Arc::new(DbmEngine::default()),
+    ];
+    for e in &list {
+        e.populate(cfg.rows, cfg.cols);
+    }
+    list
+}

@@ -1,0 +1,42 @@
+//! Criterion companion to Figure 10: 10%-scan latency while short update
+//! transactions run concurrently.
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lstore_bench::workload::{Contention, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_scan_under_updates");
+    group.sample_size(10);
+    let cfg = common::config(Contention::Medium);
+    let engines = common::engines(&cfg);
+    for e in &engines {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let e = Arc::clone(e);
+            let stop = Arc::clone(&stop);
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let mut wl = Workload::new(cfg, 7);
+                while !stop.load(Ordering::Relaxed) {
+                    let t = wl.next_txn(None);
+                    std::hint::black_box(e.update_transaction(&t.reads, &t.writes));
+                }
+            })
+        };
+        let span = cfg.rows / 10;
+        group.bench_function(format!("{}/10pct_scan", e.name()), |b| {
+            b.iter(|| std::hint::black_box(e.scan_sum(0, 0, span - 1)))
+        });
+        stop.store(true, Ordering::Relaxed);
+        handle.join().unwrap();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

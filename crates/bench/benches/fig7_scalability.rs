@@ -1,0 +1,30 @@
+//! Criterion companion to Figure 7: cost of one short update transaction
+//! (8r/2w) per engine per contention level; throughput = 1/latency scaled by
+//! threads in the full binary run.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lstore_bench::workload::{Contention, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_update_txn");
+    group.sample_size(20);
+    for contention in [Contention::Low, Contention::Medium, Contention::High] {
+        let cfg = common::config(contention);
+        let engines = common::engines(&cfg);
+        for e in &engines {
+            let mut wl = Workload::new(cfg.clone(), 0);
+            group.bench_function(format!("{}/{}", e.name(), contention.label()), |b| {
+                b.iter(|| {
+                    let t = wl.next_txn(None);
+                    std::hint::black_box(e.update_transaction(&t.reads, &t.writes))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion companion to Figure 8: scan latency as a function of merge lag
+//! (how many tail records remain unmerged when the scan runs).
+
+mod common;
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lstore::TableConfig;
+use lstore_baselines::{Engine, LStoreEngine};
+use lstore_bench::workload::{Contention, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_scan_vs_merge_lag");
+    group.sample_size(10);
+    let cfg = common::config(Contention::Low);
+    for lag in [0u64, 2_000, 8_000] {
+        // auto_merge off: we control the lag exactly.
+        let engine = Arc::new(LStoreEngine::with_config(
+            TableConfig::default().with_auto_merge(false),
+        ));
+        engine.populate(cfg.rows, cfg.cols);
+        let mut wl = Workload::new(cfg.clone(), 0);
+        for _ in 0..lag {
+            let t = wl.next_txn(None);
+            engine.update_transaction(&t.reads, &t.writes);
+        }
+        if lag == 0 {
+            engine.table().merge_all();
+        }
+        group.bench_function(format!("unmerged_tail={lag}"), |b| {
+            b.iter(|| std::hint::black_box(engine.scan_sum(0, 0, cfg.rows - 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion companion to Figure 9: transaction cost vs read fraction.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lstore_bench::workload::{Contention, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_read_ratio");
+    group.sample_size(20);
+    let cfg = common::config(Contention::Medium);
+    let engines = common::engines(&cfg);
+    for e in &engines {
+        for pct in [0u32, 50, 100] {
+            let mut wl = Workload::new(cfg.clone(), 0);
+            group.bench_function(format!("{}/reads={pct}%", e.name()), |b| {
+                b.iter(|| {
+                    let t = wl.next_txn(Some(pct as f64 / 100.0));
+                    std::hint::black_box(e.update_transaction(&t.reads, &t.writes))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

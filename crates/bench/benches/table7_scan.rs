@@ -1,0 +1,29 @@
+//! Criterion companion to Table 7: full scan per engine after an update
+//! burst plus maintenance.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lstore_bench::workload::{Contention, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table7_scan");
+    group.sample_size(10);
+    let cfg = common::config(Contention::Low);
+    let engines = common::engines(&cfg);
+    for e in &engines {
+        let mut wl = Workload::new(cfg.clone(), 0);
+        for _ in 0..5_000 {
+            let t = wl.next_txn(None);
+            e.update_transaction(&t.reads, &t.writes);
+        }
+        e.maintain();
+        group.bench_function(e.name(), |b| {
+            b.iter(|| std::hint::black_box(e.scan_sum(0, 0, cfg.rows - 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

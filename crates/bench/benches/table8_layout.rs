@@ -1,0 +1,35 @@
+//! Criterion companion to Table 8: column-layout vs row-layout scans.
+
+mod common;
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lstore::RowTable;
+use lstore_baselines::engine::seed;
+use lstore_baselines::{Engine, LStoreEngine};
+use lstore_bench::workload::Contention;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table8_layout_scan");
+    group.sample_size(10);
+    let cfg = common::config(Contention::Low);
+    let col = Arc::new(LStoreEngine::new());
+    col.populate(cfg.rows, cfg.cols);
+    let row = Arc::new(RowTable::new(cfg.cols, 4096));
+    let mut values = vec![0u64; cfg.cols];
+    for k in 0..cfg.rows {
+        for (c, v) in values.iter_mut().enumerate() {
+            *v = seed(k, c);
+        }
+        row.insert(k, &values).unwrap();
+    }
+    group.bench_function("column", |b| {
+        b.iter(|| std::hint::black_box(col.scan_sum(0, 0, cfg.rows - 1)))
+    });
+    group.bench_function("row", |b| b.iter(|| std::hint::black_box(row.sum(0))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

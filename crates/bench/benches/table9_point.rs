@@ -1,0 +1,48 @@
+//! Criterion companion to Table 9: point reads fetching 10% vs 100% of
+//! columns, column vs row layout.
+
+mod common;
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lstore::RowTable;
+use lstore_baselines::engine::seed;
+use lstore_baselines::{Engine, LStoreEngine};
+use lstore_bench::workload::Contention;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table9_point_read");
+    let cfg = common::config(Contention::Low);
+    let col = Arc::new(LStoreEngine::new());
+    col.populate(cfg.rows, cfg.cols);
+    let row = Arc::new(RowTable::new(cfg.cols, 4096));
+    let mut values = vec![0u64; cfg.cols];
+    for k in 0..cfg.rows {
+        for (c, v) in values.iter_mut().enumerate() {
+            *v = seed(k, c);
+        }
+        row.insert(k, &values).unwrap();
+    }
+    for ncols in [1usize, 4, 10] {
+        let cols: Vec<usize> = (0..ncols).collect();
+        let mut k = 0u64;
+        group.bench_function(format!("column/{ncols}cols"), |b| {
+            b.iter(|| {
+                k = (k + 7919) % cfg.rows;
+                std::hint::black_box(col.point_read(k, &cols))
+            })
+        });
+        let mut k = 0u64;
+        group.bench_function(format!("row/{ncols}cols"), |b| {
+            b.iter(|| {
+                k = (k + 7919) % cfg.rows;
+                std::hint::black_box(row.read(k, &cols).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 10: update and read throughput with 17 concurrent transactions
+//! split between short updates and long 10% read-only scans, low and medium
+//! contention.
+
+use lstore_bench::report::{self, tps};
+use lstore_bench::run_mixed;
+use lstore_bench::setup;
+use lstore_bench::workload::Contention;
+
+fn main() {
+    for contention in [Contention::Low, Contention::Medium] {
+        let config = setup::workload(contention);
+        report::header(
+            &format!("Figure 10 ({})", contention.label()),
+            &format!(
+                "17 concurrent txns: updates vs 10% scans; rows={}",
+                config.rows
+            ),
+        );
+        let engines = setup::all_engines(&config);
+        for readers in [1usize, 5, 9, 13, 16] {
+            let updaters = 17 - readers;
+            let mut cells = Vec::new();
+            for e in &engines {
+                let r = run_mixed(e, &config, updaters, readers, setup::window());
+                cells.push((
+                    e.name(),
+                    format!(
+                        "upd={} scan={}",
+                        tps(r.update_txns_per_sec),
+                        tps(r.read_txns_per_sec)
+                    ),
+                ));
+            }
+            let cells_ref: Vec<(&str, String)> =
+                cells.iter().map(|(n, v)| (*n, v.clone())).collect();
+            report::row(&format!("readers={readers}"), &cells_ref);
+        }
+    }
+}

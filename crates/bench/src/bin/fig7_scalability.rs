@@ -1,0 +1,35 @@
+//! Figure 7: transaction throughput vs number of parallel short update
+//! transactions, at low / medium / high contention, for L-Store vs
+//! In-place Update + History vs Delta + Blocking Merge (one scan thread and
+//! one merge thread always running).
+
+use lstore_bench::report::{self, mtxns};
+use lstore_bench::setup;
+use lstore_bench::workload::Contention;
+use lstore_bench::run_throughput;
+
+fn main() {
+    for contention in [Contention::Low, Contention::Medium, Contention::High] {
+        let config = setup::workload(contention);
+        report::header(
+            &format!("Figure 7 ({})", contention.label()),
+            &format!(
+                "throughput (M txns/s) vs update threads; rows={} active={}",
+                config.rows,
+                contention.active_set(config.rows)
+            ),
+        );
+        let engines = setup::all_engines(&config);
+        for threads in setup::thread_sweep() {
+            let mut cells = Vec::new();
+            for e in &engines {
+                let r = run_throughput(e, &config, threads, setup::window(), None, true);
+                cells.push((e.name(), mtxns(r.txns_per_sec)));
+            }
+            let label = format!("threads={threads}");
+            let cells_ref: Vec<(&str, String)> =
+                cells.iter().map(|(n, v)| (*n, v.clone())).collect();
+            report::row(&label, &cells_ref);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 8: single-threaded scan execution time vs the number of tail
+//! records processed per merge (merge-lag sensitivity), with 4 and 16
+//! concurrent update threads.
+
+use std::sync::Arc;
+
+use lstore::TableConfig;
+use lstore_baselines::{Engine, LStoreEngine};
+use lstore_bench::report::{self, secs};
+use lstore_bench::run_scan_while_updating;
+use lstore_bench::setup;
+use lstore_bench::workload::Contention;
+
+fn main() {
+    let config = setup::workload(Contention::Low);
+    report::header(
+        "Figure 8",
+        &format!(
+            "scan seconds vs tail records per merge (range=4096); rows={}",
+            config.rows
+        ),
+    );
+    for threads in [4usize, 16] {
+        for merge_batch in [256usize, 512, 1024, 2048, 4096] {
+            let table_config = TableConfig::default()
+                .with_range_size(4096)
+                .with_merge_threshold(merge_batch);
+            let engine = Arc::new(LStoreEngine::with_config(table_config));
+            engine.populate(config.rows, config.cols);
+            let e: Arc<dyn Engine> = engine;
+            let t = run_scan_while_updating(&e, &config, threads, 3);
+            report::row(
+                &format!("threads={threads} M={merge_batch}"),
+                &[("scan", secs(t))],
+            );
+        }
+    }
+}

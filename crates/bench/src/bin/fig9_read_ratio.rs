@@ -1,0 +1,35 @@
+//! Figure 9: throughput vs percentage of reads in short update transactions
+//! (0..100%), 16 update threads, low and medium contention.
+
+use lstore_bench::report::{self, mtxns};
+use lstore_bench::run_throughput;
+use lstore_bench::setup;
+use lstore_bench::workload::Contention;
+
+fn main() {
+    for contention in [Contention::Low, Contention::Medium] {
+        let config = setup::workload(contention);
+        report::header(
+            &format!("Figure 9 ({})", contention.label()),
+            &format!("throughput vs %reads, 16 threads; rows={}", config.rows),
+        );
+        let engines = setup::all_engines(&config);
+        for pct in [0u32, 20, 40, 60, 80, 100] {
+            let mut cells = Vec::new();
+            for e in &engines {
+                let r = run_throughput(
+                    e,
+                    &config,
+                    16,
+                    setup::window(),
+                    Some(pct as f64 / 100.0),
+                    true,
+                );
+                cells.push((e.name(), mtxns(r.txns_per_sec)));
+            }
+            let cells_ref: Vec<(&str, String)> =
+                cells.iter().map(|(n, v)| (*n, v.clone())).collect();
+            report::row(&format!("reads={pct}%"), &cells_ref);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Table 7: single-threaded scan seconds for L-Store vs IUH vs DBM with 16
+//! concurrent update threads (low contention, 4K update ranges).
+
+use std::sync::Arc;
+
+use lstore::TableConfig;
+use lstore_baselines::{DbmEngine, Engine, IuhEngine, LStoreEngine};
+use lstore_bench::report::{self, secs, speedup};
+use lstore_bench::run_scan_while_updating;
+use lstore_bench::setup;
+use lstore_bench::workload::Contention;
+
+fn main() {
+    let config = setup::workload(Contention::Low);
+    report::header(
+        "Table 7",
+        &format!("scan seconds, 16 update threads; rows={}", config.rows),
+    );
+    let lstore = Arc::new(LStoreEngine::with_config(
+        TableConfig::default().with_range_size(4096),
+    ));
+    let engines: Vec<Arc<dyn Engine>> = vec![
+        lstore,
+        Arc::new(IuhEngine::new()),
+        Arc::new(DbmEngine::default()),
+    ];
+    let mut results = Vec::new();
+    for e in &engines {
+        e.populate(config.rows, config.cols);
+        let t = run_scan_while_updating(e, &config, 16, 3);
+        results.push((e.name(), t));
+        report::row(e.name(), &[("scan", secs(t))]);
+    }
+    report::row(
+        "speedups",
+        &[
+            ("vs IUH", speedup(results[1].1, results[0].1)),
+            ("vs DBM", speedup(results[2].1, results[0].1)),
+        ],
+    );
+}

@@ -1,0 +1,83 @@
+//! Table 8: single-threaded scan seconds, L-Store (Column) vs L-Store (Row),
+//! with no updates and with 16 concurrent update threads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use lstore::RowTable;
+use lstore_baselines::engine::seed;
+use lstore_baselines::Engine;
+use lstore_bench::report::{self, secs, speedup};
+use lstore_bench::setup;
+use lstore_bench::workload::{Contention, Workload};
+
+fn time_scans<F: FnMut() -> u64>(mut scan: F, iters: usize) -> f64 {
+    std::hint::black_box(scan());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(scan());
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+fn main() {
+    let config = setup::workload(Contention::Low);
+    report::header(
+        "Table 8",
+        &format!("scan seconds, column vs row layout; rows={}", config.rows),
+    );
+    // Column layout.
+    let col_engine = setup::lstore_engine(&config);
+    let col_quiet = time_scans(|| col_engine.scan_sum(0, 0, config.rows - 1), 5);
+    // Row layout.
+    let row = Arc::new(RowTable::new(config.cols, 4096));
+    let mut values = vec![0u64; config.cols];
+    for k in 0..config.rows {
+        for (c, v) in values.iter_mut().enumerate() {
+            *v = seed(k, c);
+        }
+        row.insert(k, &values).unwrap();
+    }
+    let row_quiet = time_scans(|| row.sum(0), 5);
+    report::row(
+        "no updates",
+        &[
+            ("column", secs(col_quiet)),
+            ("row", secs(row_quiet)),
+            ("col speedup", speedup(row_quiet, col_quiet)),
+        ],
+    );
+
+    // With 16 update threads.
+    let stop = Arc::new(AtomicBool::new(false));
+    let (col_busy, row_busy) = std::thread::scope(|s| {
+        for t in 0..16 {
+            let col_engine = Arc::clone(&col_engine);
+            let row = Arc::clone(&row);
+            let stop = Arc::clone(&stop);
+            let mut wl = Workload::new(config.clone(), t);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let txn = wl.next_txn(None);
+                    for (k, ups) in &txn.writes {
+                        let _ = col_engine.update_transaction(&[], &[(*k, ups.clone())]);
+                        let _ = row.update(*k, ups);
+                    }
+                }
+            });
+        }
+        let col_busy = time_scans(|| col_engine.scan_sum(0, 0, config.rows - 1), 3);
+        let row_busy = time_scans(|| row.sum(0), 3);
+        stop.store(true, Ordering::Relaxed);
+        (col_busy, row_busy)
+    });
+    report::row(
+        "16 update threads",
+        &[
+            ("column", secs(col_busy)),
+            ("row", secs(row_busy)),
+            ("col speedup", speedup(row_busy, col_busy)),
+        ],
+    );
+}

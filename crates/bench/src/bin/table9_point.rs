@@ -1,0 +1,57 @@
+//! Table 9: point-query throughput (M txns/s) vs percentage of columns
+//! fetched, L-Store (Column) vs L-Store (Row). Each transaction issues 10
+//! point reads.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lstore::RowTable;
+use lstore_baselines::engine::seed;
+use lstore_baselines::Engine;
+use lstore_bench::report::{self, mtxns};
+use lstore_bench::setup;
+use lstore_bench::workload::Contention;
+
+fn main() {
+    let config = setup::workload(Contention::Low);
+    report::header(
+        "Table 9",
+        &format!(
+            "point-query throughput vs %columns read (10 reads/txn); rows={}",
+            config.rows
+        ),
+    );
+    let col_engine = setup::lstore_engine(&config);
+    let row = Arc::new(RowTable::new(config.cols, 4096));
+    let mut values = vec![0u64; config.cols];
+    for k in 0..config.rows {
+        for (c, v) in values.iter_mut().enumerate() {
+            *v = seed(k, c);
+        }
+        row.insert(k, &values).unwrap();
+    }
+    let iterations: u64 = 20_000;
+    for pct in [10usize, 20, 40, 80, 100] {
+        let ncols = ((config.cols * pct) as f64 / 100.0).round().max(1.0) as usize;
+        let cols: Vec<usize> = (0..ncols).collect();
+        // Column layout.
+        let start = Instant::now();
+        for i in 0..iterations {
+            let k = (i * 7919) % config.rows;
+            std::hint::black_box(col_engine.point_read(k, &cols));
+        }
+        // 10 reads per transaction.
+        let col_tps = (iterations as f64 / 10.0) / start.elapsed().as_secs_f64();
+        // Row layout.
+        let start = Instant::now();
+        for i in 0..iterations {
+            let k = (i * 7919) % config.rows;
+            std::hint::black_box(row.read(k, &cols).unwrap());
+        }
+        let row_tps = (iterations as f64 / 10.0) / start.elapsed().as_secs_f64();
+        report::row(
+            &format!("{pct}% of columns"),
+            &[("column", mtxns(col_tps)), ("row", mtxns(row_tps))],
+        );
+    }
+}

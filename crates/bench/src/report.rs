@@ -1,0 +1,40 @@
+//! Paper-style tabular reporting.
+
+/// Print a header like the paper's figures: experiment id + axis names.
+pub fn header(experiment: &str, caption: &str) {
+    println!();
+    println!("== {experiment} — {caption} ==");
+}
+
+/// Print one aligned row of labelled values.
+pub fn row(label: &str, cells: &[(&str, String)]) {
+    let mut line = format!("{label:<28}");
+    for (name, value) in cells {
+        line.push_str(&format!("  {name}={value:<12}"));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Format a throughput in the paper's unit (M txns/s).
+pub fn mtxns(v: f64) -> String {
+    format!("{:.4}", v / 1.0e6)
+}
+
+/// Format transactions per second.
+pub fn tps(v: f64) -> String {
+    format!("{v:.0}")
+}
+
+/// Format seconds.
+pub fn secs(v: f64) -> String {
+    format!("{v:.4}s")
+}
+
+/// Format a speedup factor.
+pub fn speedup(a: f64, b: f64) -> String {
+    if b > 0.0 {
+        format!("{:.2}x", a / b)
+    } else {
+        "inf".into()
+    }
+}

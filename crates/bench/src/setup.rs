@@ -1,0 +1,63 @@
+//! Shared experiment setup: engine construction and environment knobs.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use lstore_baselines::{DbmEngine, Engine, IuhEngine, LStoreEngine};
+
+use crate::workload::{Contention, WorkloadConfig};
+
+/// Rows for full-table experiments (env `BENCH_ROWS`, default 100k —
+/// laptop-scale stand-in for the paper's 10M active set).
+pub fn rows() -> u64 {
+    std::env::var("BENCH_ROWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000)
+}
+
+/// Measurement window per data point (env `BENCH_SECONDS`, default 1.0).
+pub fn window() -> Duration {
+    let s: f64 = std::env::var("BENCH_SECONDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    Duration::from_secs_f64(s)
+}
+
+/// Thread counts to sweep (env `BENCH_THREADS`, comma-separated).
+pub fn thread_sweep() -> Vec<usize> {
+    std::env::var("BENCH_THREADS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+/// Build a populated engine of each architecture for `config`.
+pub fn all_engines(config: &WorkloadConfig) -> Vec<Arc<dyn Engine>> {
+    let engines: Vec<Arc<dyn Engine>> = vec![
+        Arc::new(LStoreEngine::new()),
+        Arc::new(IuhEngine::new()),
+        Arc::new(DbmEngine::default()),
+    ];
+    for e in &engines {
+        e.populate(config.rows, config.cols);
+    }
+    engines
+}
+
+/// Build one populated L-Store engine.
+pub fn lstore_engine(config: &WorkloadConfig) -> Arc<LStoreEngine> {
+    let e = Arc::new(LStoreEngine::new());
+    e.populate(config.rows, config.cols);
+    e
+}
+
+/// Workload config at the requested contention, rows from env.
+pub fn workload(contention: Contention) -> WorkloadConfig {
+    WorkloadConfig {
+        rows: rows(),
+        contention,
+        ..WorkloadConfig::default()
+    }
+}

@@ -1,0 +1,137 @@
+//! Engine configuration.
+
+use lstore_storage::compress::CodecChoice;
+use std::path::PathBuf;
+
+/// Per-table tuning knobs.
+#[derive(Debug, Clone)]
+pub struct TableConfig {
+    /// Update-range size: records per (virtual) range partition. The paper
+    /// finds 2^12..2^16 best (§4.4); default 2^12.
+    pub range_size: usize,
+    /// Slots per physical tail page. Tail pages "could be smaller than base
+    /// pages" (§4.4 footnote); default 2^10.
+    pub tail_page_slots: usize,
+    /// Enqueue a background merge for a range once this many unmerged tail
+    /// records accumulate. §6.2 finds ~50% of the range size optimal.
+    pub merge_threshold: usize,
+    /// Cumulative updates (§3.1): each tail record repeats the latest values
+    /// of previously updated columns, trading write-side copying for
+    /// shorter read chains. Cumulation resets at every merge (§4.2).
+    pub cumulative_updates: bool,
+    /// Codec policy for merged base pages.
+    pub codec: CodecChoice,
+    /// Automatically enqueue merges when `merge_threshold` is reached.
+    pub auto_merge: bool,
+    /// Slots per insert range (§3.2; the paper uses ≥ 1M in production
+    /// settings — default matches `range_size` so merged insert ranges align
+    /// with update ranges at laptop scale).
+    pub insert_range_size: usize,
+}
+
+impl Default for TableConfig {
+    fn default() -> Self {
+        let range_size = 1 << 12;
+        TableConfig {
+            range_size,
+            tail_page_slots: 1 << 10,
+            merge_threshold: range_size / 2,
+            cumulative_updates: true,
+            codec: CodecChoice::Auto,
+            auto_merge: true,
+            insert_range_size: range_size,
+        }
+    }
+}
+
+impl TableConfig {
+    /// A small configuration for examples and tests: 256-record ranges so
+    /// merges and range rollover happen quickly.
+    pub fn small() -> Self {
+        TableConfig {
+            range_size: 256,
+            tail_page_slots: 64,
+            merge_threshold: 128,
+            insert_range_size: 256,
+            ..TableConfig::default()
+        }
+    }
+
+    /// Set the update-range size (and scale the merge threshold to 50%).
+    pub fn with_range_size(mut self, range_size: usize) -> Self {
+        self.range_size = range_size;
+        self.merge_threshold = (range_size / 2).max(1);
+        self.insert_range_size = range_size;
+        self
+    }
+
+    /// Set the merge threshold (number of tail records per merge trigger).
+    pub fn with_merge_threshold(mut self, threshold: usize) -> Self {
+        self.merge_threshold = threshold.max(1);
+        self
+    }
+
+    /// Enable/disable cumulative updates.
+    pub fn with_cumulative(mut self, on: bool) -> Self {
+        self.cumulative_updates = on;
+        self
+    }
+
+    /// Set the base-page codec policy.
+    pub fn with_codec(mut self, codec: CodecChoice) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Enable/disable automatic background merging.
+    pub fn with_auto_merge(mut self, on: bool) -> Self {
+        self.auto_merge = on;
+        self
+    }
+}
+
+/// Database-wide configuration.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Write-ahead log path; `None` disables logging (the evaluation setting:
+    /// "logging has been turned off for all systems", §6.1).
+    pub wal_path: Option<PathBuf>,
+    /// fsync on commit when the WAL is enabled.
+    pub sync_on_commit: bool,
+    /// Spawn the background merge daemon (Fig. 5's merge thread). Disable
+    /// for single-threaded deterministic tests that call `merge_now`.
+    pub background_merge: bool,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DbConfig {
+    /// In-memory database with a live merge daemon (the common case).
+    pub fn new() -> Self {
+        DbConfig {
+            wal_path: None,
+            sync_on_commit: false,
+            background_merge: true,
+        }
+    }
+
+    /// Deterministic configuration: no daemon, merges run only on demand.
+    pub fn deterministic() -> Self {
+        DbConfig {
+            wal_path: None,
+            sync_on_commit: false,
+            background_merge: false,
+        }
+    }
+
+    /// Enable the WAL at `path`.
+    pub fn with_wal(mut self, path: PathBuf, sync_on_commit: bool) -> Self {
+        self.wal_path = Some(path);
+        self.sync_on_commit = sync_on_commit;
+        self
+    }
+}

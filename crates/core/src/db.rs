@@ -1,0 +1,351 @@
+//! The database: shared runtime, transaction lifecycle, merge daemon.
+//!
+//! The database ties the substrates together: the global clock and
+//! transaction manager (§5.1.1), the epoch manager for page reclamation
+//! (§4.1.1 step 5), the optional redo-only WAL (§5.1.3), and the background
+//! merge thread consuming the merge queue (Fig. 5: "writer threads place
+//! candidate tail pages to be merged into the merge queue while the merge
+//! thread continuously takes pages from the queue and processes them").
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use lstore_storage::epoch::EpochManager;
+use lstore_txn::{GlobalClock, IsolationLevel, Transaction, TxnManager};
+use lstore_wal::{LogRecord, Wal, WalConfig};
+
+use crate::config::{DbConfig, TableConfig};
+use crate::error::{Error, Result};
+use crate::table::Table;
+
+/// A merge request: table + range (the "merge queue" of Fig. 5).
+#[derive(Debug, Clone, Copy)]
+enum MergeMsg {
+    Merge { table_id: u32, range_id: u32 },
+    Shutdown,
+}
+
+/// Shared engine runtime handed to every table.
+pub struct Runtime {
+    /// The synchronized transaction clock.
+    pub clock: GlobalClock,
+    /// Transaction state table.
+    pub mgr: TxnManager,
+    /// Epoch-based reclamation of outdated pages.
+    pub epoch: EpochManager,
+    /// Optional redo-only WAL.
+    pub wal: Option<Arc<Wal>>,
+    merge_tx: Mutex<Option<Sender<MergeMsg>>>,
+}
+
+impl Runtime {
+    /// Enqueue a merge request; false when no daemon is running.
+    pub(crate) fn enqueue_merge(&self, table_id: u32, range_id: u32) -> bool {
+        match &*self.merge_tx.lock() {
+            Some(tx) => tx.send(MergeMsg::Merge { table_id, range_id }).is_ok(),
+            None => false,
+        }
+    }
+}
+
+/// The L-Store database.
+pub struct Database {
+    runtime: Arc<Runtime>,
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+    tables_by_id: RwLock<Vec<Arc<Table>>>,
+    merge_thread: Mutex<Option<JoinHandle<()>>>,
+    config: DbConfig,
+}
+
+impl Database {
+    /// Open a database with `config`.
+    pub fn new(config: DbConfig) -> Arc<Database> {
+        let wal = config.wal_path.as_ref().map(|p| {
+            Arc::new(
+                Wal::create(
+                    p,
+                    WalConfig {
+                        sync_on_commit: config.sync_on_commit,
+                        ..WalConfig::default()
+                    },
+                )
+                .expect("create wal"),
+            )
+        });
+        let runtime = Arc::new(Runtime {
+            clock: GlobalClock::new(),
+            mgr: TxnManager::new(),
+            epoch: EpochManager::new(),
+            wal,
+            merge_tx: Mutex::new(None),
+        });
+        let db = Arc::new(Database {
+            runtime,
+            tables: RwLock::new(HashMap::new()),
+            tables_by_id: RwLock::new(Vec::new()),
+            merge_thread: Mutex::new(None),
+            config,
+        });
+        if db.config.background_merge {
+            db.start_merge_daemon();
+        }
+        db
+    }
+
+    /// In-memory database with default settings.
+    pub fn in_memory() -> Arc<Database> {
+        Database::new(DbConfig::new())
+    }
+
+    fn start_merge_daemon(self: &Arc<Self>) {
+        let (tx, rx): (Sender<MergeMsg>, Receiver<MergeMsg>) = unbounded();
+        *self.runtime.merge_tx.lock() = Some(tx);
+        let weak = Arc::downgrade(self);
+        let handle = std::thread::Builder::new()
+            .name("lstore-merge".into())
+            .spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        MergeMsg::Shutdown => break,
+                        MergeMsg::Merge { table_id, range_id } => {
+                            let Some(db) = weak.upgrade() else { break };
+                            let table = db.tables_by_id.read().get(table_id as usize).cloned();
+                            if let Some(t) = table {
+                                t.process_merge(range_id);
+                            }
+                            db.runtime.epoch.try_reclaim();
+                        }
+                    }
+                }
+            })
+            .expect("spawn merge daemon");
+        *self.merge_thread.lock() = Some(handle);
+    }
+
+    /// Access the shared runtime (clock, transaction manager, epochs).
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.runtime
+    }
+
+    /// Create a table with the given value columns (key is implicit).
+    pub fn create_table(
+        &self,
+        name: &str,
+        value_columns: &[&str],
+        config: TableConfig,
+    ) -> Result<Arc<Table>> {
+        let mut by_id = self.tables_by_id.write();
+        let id = by_id.len() as u32;
+        let table = Table::create(id, name, value_columns, config, Arc::clone(&self.runtime))?;
+        by_id.push(Arc::clone(&table));
+        self.tables.write().insert(name.to_string(), Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables.read().get(name).cloned()
+    }
+
+    fn table_by_id(&self, id: u32) -> Option<Arc<Table>> {
+        self.tables_by_id.read().get(id as usize).cloned()
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction lifecycle (§5.1.1)
+    // ------------------------------------------------------------------
+
+    /// Begin a read-committed transaction (the paper's setting for short
+    /// update transactions).
+    pub fn begin(&self) -> Transaction {
+        self.begin_with(IsolationLevel::ReadCommitted)
+    }
+
+    /// Begin a transaction at a chosen isolation level.
+    pub fn begin_with(&self, isolation: IsolationLevel) -> Transaction {
+        let (id, begin) = self.runtime.mgr.begin(&self.runtime.clock);
+        Transaction::new(id, begin, isolation)
+    }
+
+    /// Commit: pre-commit (commit timestamp + state change), validate reads
+    /// if required, write the commit log record, finalize. On validation
+    /// failure the transaction is aborted and `ValidationFailed` returned.
+    pub fn commit(&self, txn: &mut Transaction) -> Result<u64> {
+        let commit_ts = self.runtime.mgr.pre_commit(txn.id, &self.runtime.clock);
+        txn.commit = commit_ts;
+        if txn.needs_validation() {
+            let read_set = std::mem::take(&mut txn.read_set);
+            for entry in &read_set {
+                let table = self
+                    .table_by_id(entry.table_id)
+                    .expect("read-set table exists");
+                if !table.validate_read(entry, txn.id) {
+                    self.abort_inner(txn);
+                    return Err(Error::ValidationFailed {
+                        base_rid: entry.base_rid,
+                    });
+                }
+            }
+        }
+        if let Some(wal) = &self.runtime.wal {
+            wal.append(&LogRecord::Commit {
+                txn_id: txn.id,
+                commit_ts,
+            })?;
+        }
+        self.runtime.mgr.commit(txn.id);
+        Ok(commit_ts)
+    }
+
+    /// Abort: mark the transaction aborted (its tail records become
+    /// tombstones — nothing is physically removed, §5.1.3) and unhook
+    /// primary-index entries of its inserts.
+    pub fn abort(&self, txn: &mut Transaction) {
+        self.abort_inner(txn);
+        if let Some(wal) = &self.runtime.wal {
+            let _ = wal.append(&LogRecord::Abort { txn_id: txn.id });
+        }
+    }
+
+    fn abort_inner(&self, txn: &mut Transaction) {
+        self.runtime.mgr.abort(txn.id);
+        for w in &txn.write_set {
+            if let Some(key) = w.insert_key {
+                if let Some(table) = self.table_by_id(w.table_id) {
+                    table.remove_pk_entry(key, w.base_rid);
+                }
+            }
+        }
+    }
+
+    /// Reclaim pass: epoch queue + transaction-table GC. Returns objects
+    /// reclaimed from the epoch queue.
+    pub fn reclaim(&self) -> usize {
+        let freed = self.runtime.epoch.try_reclaim();
+        // Transactions older than any live snapshot can be dropped once all
+        // Start Time cells were lazily swapped; merges do that for merged
+        // records, so a conservative horizon is the oldest possible begin.
+        freed
+    }
+}
+
+impl Drop for Database {
+    fn drop(&mut self) {
+        if let Some(tx) = self.runtime.merge_tx.lock().take() {
+            let _ = tx.send(MergeMsg::Shutdown);
+        }
+        if let Some(h) = self.merge_thread.lock().take() {
+            let _ = h.join();
+        }
+        if let Some(wal) = &self.runtime.wal {
+            let _ = wal.flush();
+        }
+    }
+}
+
+impl Table {
+    /// Remove a primary-index entry if it still maps to `expected_rid`
+    /// (abort of an insert).
+    pub(crate) fn remove_pk_entry(&self, key: u64, expected_rid: u64) {
+        if let Ok(rid) = self.locate(key) {
+            if rid.0 == expected_rid {
+                // Best-effort: a racing re-insert of the same key after our
+                // abort would have failed DuplicateKey anyway.
+                let _ = self.remove_pk(key);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Auto-commit conveniences
+// ----------------------------------------------------------------------
+
+impl Table {
+    fn db_ops(&self) -> (&Arc<Runtime>,) {
+        (&self.runtime,)
+    }
+
+    /// Insert with an implicit single-statement transaction.
+    pub fn insert_auto(&self, key: u64, values: &[u64]) -> Result<crate::rid::Rid> {
+        let (rt,) = self.db_ops();
+        let (id, begin) = rt.mgr.begin(&rt.clock);
+        let mut txn = Transaction::new(id, begin, IsolationLevel::ReadCommitted);
+        match self.insert(&mut txn, key, values) {
+            Ok(rid) => {
+                let commit_ts = rt.mgr.pre_commit(txn.id, &rt.clock);
+                if let Some(wal) = &rt.wal {
+                    let _ = wal.append(&LogRecord::Commit {
+                        txn_id: txn.id,
+                        commit_ts,
+                    });
+                }
+                rt.mgr.commit(txn.id);
+                Ok(rid)
+            }
+            Err(e) => {
+                rt.mgr.abort(txn.id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Update with an implicit single-statement transaction.
+    pub fn update_auto(&self, key: u64, updates: &[(usize, u64)]) -> Result<crate::rid::Rid> {
+        let (rt,) = self.db_ops();
+        let (id, begin) = rt.mgr.begin(&rt.clock);
+        let mut txn = Transaction::new(id, begin, IsolationLevel::ReadCommitted);
+        match self.update(&mut txn, key, updates) {
+            Ok(rid) => {
+                let commit_ts = rt.mgr.pre_commit(txn.id, &rt.clock);
+                if let Some(wal) = &rt.wal {
+                    let _ = wal.append(&LogRecord::Commit {
+                        txn_id: txn.id,
+                        commit_ts,
+                    });
+                }
+                rt.mgr.commit(txn.id);
+                Ok(rid)
+            }
+            Err(e) => {
+                rt.mgr.abort(txn.id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Delete with an implicit single-statement transaction.
+    pub fn delete_auto(&self, key: u64) -> Result<()> {
+        let (rt,) = self.db_ops();
+        let (id, begin) = rt.mgr.begin(&rt.clock);
+        let mut txn = Transaction::new(id, begin, IsolationLevel::ReadCommitted);
+        match self.delete(&mut txn, key) {
+            Ok(_) => {
+                let commit_ts = rt.mgr.pre_commit(txn.id, &rt.clock);
+                if let Some(wal) = &rt.wal {
+                    let _ = wal.append(&LogRecord::Commit {
+                        txn_id: txn.id,
+                        commit_ts,
+                    });
+                }
+                rt.mgr.commit(txn.id);
+                Ok(())
+            }
+            Err(e) => {
+                rt.mgr.abort(txn.id);
+                Err(e)
+            }
+        }
+    }
+
+    pub(crate) fn remove_pk(&self, key: u64) -> Result<()> {
+        // Exposed through remove_pk_entry only; keeps the index crate's
+        // remove sealed behind abort handling.
+        self.pk_remove_inner(key);
+        Ok(())
+    }
+}

@@ -1,0 +1,77 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors surfaced by the L-Store engine.
+#[derive(Debug)]
+pub enum Error {
+    /// Insert with a key that already exists in the primary index.
+    DuplicateKey(u64),
+    /// Point operation on a key absent from the primary index.
+    KeyNotFound(u64),
+    /// Write-write conflict detected on the indirection latch or on an
+    /// uncommitted competing version (§5.1.1 `write`); the transaction must
+    /// abort.
+    WriteConflict { base_rid: u64 },
+    /// Commit-time read validation failed (§5.1.1 `validate reads`).
+    ValidationFailed { base_rid: u64 },
+    /// Column index outside the table schema.
+    ColumnOutOfRange { column: usize, columns: usize },
+    /// Schema declared more data columns than the encoding bitmap supports.
+    TooManyColumns(usize),
+    /// Operation on a transaction that is no longer active.
+    TxnNotActive,
+    /// Storage-layer failure.
+    Storage(lstore_storage::StorageError),
+    /// Log / recovery failure.
+    Wal(lstore_wal::WalError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DuplicateKey(k) => write!(f, "duplicate key {k}"),
+            Error::KeyNotFound(k) => write!(f, "key {k} not found"),
+            Error::WriteConflict { base_rid } => {
+                write!(f, "write-write conflict on base rid {base_rid:#x}")
+            }
+            Error::ValidationFailed { base_rid } => {
+                write!(f, "read validation failed for base rid {base_rid:#x}")
+            }
+            Error::ColumnOutOfRange { column, columns } => {
+                write!(f, "column {column} out of range (table has {columns})")
+            }
+            Error::TooManyColumns(n) => {
+                write!(f, "{n} data columns exceed the schema-encoding bitmap capacity")
+            }
+            Error::TxnNotActive => write!(f, "transaction is not active"),
+            Error::Storage(e) => write!(f, "storage error: {e}"),
+            Error::Wal(e) => write!(f, "wal error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Storage(e) => Some(e),
+            Error::Wal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lstore_storage::StorageError> for Error {
+    fn from(e: lstore_storage::StorageError) -> Self {
+        Error::Storage(e)
+    }
+}
+
+impl From<lstore_wal::WalError> for Error {
+    fn from(e: lstore_wal::WalError) -> Self {
+        Error::Wal(e)
+    }
+}
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,352 @@
+//! Version resolution: latest, snapshot, and time-travel reads.
+//!
+//! "When a reader performing index lookup, it always lands at a base record,
+//! and from the base record it can reach any desired version of the record
+//! by following the table-embedded indirection" (§2.2). This module
+//! implements that walk with the paper's fast paths:
+//!
+//! * **2-hop access / TPS interpretation** (§4.2): if the indirection is ⊥,
+//!   or the pointed-to sequence number is ≤ the base page's (per-column)
+//!   TPS, the base page already reflects the latest value — no chain walk.
+//! * **Lazy commit-timestamp swap** (§5.1.1): when a reader resolves a Start
+//!   Time cell holding the id of a committed transaction, it CASes the
+//!   commit timestamp into the cell.
+//! * **Snapshot safety** (Lemma 2): because a column's original value is
+//!   snapshotted into the tail on its first update, walking the chain can
+//!   reconstruct *any* version even after merges replaced base values —
+//!   the base page is only consulted for columns with no explicit value in
+//!   the visible chain, which is exactly when it is guaranteed unchanged.
+//! * **Historic crossing** (§4.3): walks that descend below the range's
+//!   historic boundary continue in the re-organized historic store.
+
+use lstore_txn::TxnManager;
+
+use crate::historic::HistoricStore;
+use crate::range::{BaseVersion, UpdateRange};
+use crate::rid::Rid;
+use crate::schema::SchemaEncoding;
+
+/// How a read resolves visibility.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadMode {
+    /// `Some(ts)`: snapshot semantics — only versions with commit time ≤ ts.
+    /// `None`: latest-committed semantics.
+    pub as_of: Option<u64>,
+    /// The reading transaction's id (its own writes are always visible);
+    /// 0 for detached readers.
+    pub txn_id: u64,
+    /// Accept versions of pre-committed transactions (§5.1.1
+    /// speculative-read).
+    pub speculative: bool,
+    /// Skip versions written by `txn_id` itself — used by commit-time
+    /// validation, which must compare against what *other* transactions
+    /// see, not against the validator's own installed writes.
+    pub exclude_own: bool,
+}
+
+impl ReadMode {
+    /// Latest committed version, as a detached reader.
+    pub fn latest() -> Self {
+        ReadMode {
+            as_of: None,
+            txn_id: 0,
+            speculative: false,
+            exclude_own: false,
+        }
+    }
+
+    /// Snapshot at `ts`, as a detached reader.
+    pub fn as_of(ts: u64) -> Self {
+        ReadMode {
+            as_of: Some(ts),
+            txn_id: 0,
+            speculative: false,
+            exclude_own: false,
+        }
+    }
+}
+
+/// Outcome of resolving one record at one slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolved {
+    /// The record is visible; `version_rid` identifies the visible version
+    /// (for read-set validation), `values` the requested columns.
+    Visible { version_rid: Rid, values: Vec<u64> },
+    /// The record is deleted as of the read time.
+    Deleted,
+    /// The record does not exist at the read time (uncommitted insert or
+    /// inserted after the snapshot).
+    NotVisible,
+}
+
+/// A borrowed view bundling everything a read needs.
+pub struct VersionReader<'a> {
+    /// The range being read.
+    pub range: &'a UpdateRange,
+    /// A pinned base snapshot (grab once per range per query).
+    pub base: &'a BaseVersion,
+    /// Transaction table for Start Time resolution.
+    pub mgr: &'a TxnManager,
+    /// Historic store for walks below the historic boundary.
+    pub historic: Option<&'a HistoricStore>,
+}
+
+impl<'a> VersionReader<'a> {
+    /// Resolve a raw Start Time cell under `mode`: `Some(effective_ts)` when
+    /// the version is visible, `None` otherwise. Own writes resolve to 0
+    /// (visible under any snapshot bound).
+    fn resolve(&self, cell: u64, mode: ReadMode) -> Option<u64> {
+        if cell == lstore_storage::NULL_VALUE {
+            return None; // unwritten slot
+        }
+        if lstore_txn::is_txn_id(cell) {
+            if cell == mode.txn_id {
+                if mode.exclude_own {
+                    return None; // validation: own writes don't count
+                }
+                return Some(0); // own write: always visible
+            }
+            let ts = self.mgr.resolve_start_time(cell, mode.speculative)?;
+            match mode.as_of {
+                Some(bound) if ts > bound => None,
+                _ => Some(ts),
+            }
+        } else {
+            match mode.as_of {
+                Some(bound) if cell > bound => None,
+                _ => Some(cell),
+            }
+        }
+    }
+
+    /// Resolve + lazily swap a tail record's Start Time cell when it holds a
+    /// committed transaction id.
+    fn resolve_tail(&self, seq: u32, mode: ReadMode) -> Option<u64> {
+        let cell = self.range.tail.start_cell(seq);
+        let vis = self.resolve(cell, mode);
+        if let Some(ts) = vis {
+            if ts > 0 && lstore_txn::is_txn_id(cell) {
+                // Lazy swap: only for *committed* (not pre-committed) owners.
+                if let Some(info) = self.mgr.get(cell) {
+                    if info.status == lstore_txn::TxnStatus::Committed {
+                        self.range.tail.swap_start_cell(seq, cell, ts);
+                    }
+                }
+            }
+        }
+        vis
+    }
+
+    /// Resolve the base record's visibility, lazily swapping an insert-phase
+    /// Start Time cell once its transaction committed (§5.1.1: "Swapping the
+    /// transaction ID with commit time is done lazily by future readers").
+    fn resolve_base(&self, slot: u32, mode: ReadMode) -> Option<u64> {
+        let cell = self.base.start_cell(slot);
+        let vis = self.resolve(cell, mode)?;
+        if lstore_txn::is_txn_id(cell) {
+            if let Some(info) = self.mgr.get(cell) {
+                if info.status == lstore_txn::TxnStatus::Committed {
+                    if let crate::range::BaseData::Insert(t) = &self.base.data {
+                        let _ = t.start_time.cas(slot as usize, cell, info.commit);
+                    }
+                }
+            }
+        }
+        Some(vis)
+    }
+
+    /// Read `columns` of the record at `slot`.
+    pub fn read_record(&self, slot: u32, columns: &[usize], mode: ReadMode) -> Resolved {
+        // 1. Base-record visibility (covers uncommitted / future inserts).
+        if self.resolve_base(slot, mode).is_none() {
+            return Resolved::NotVisible;
+        }
+        let base_rid = Rid::base(self.range.id, slot);
+        let head = self.range.indirection(slot);
+
+        // 2. Fast path: ⊥ indirection → the base record is the only version.
+        if head.is_null() {
+            if SchemaEncoding(self.base.schema_enc(slot)).is_delete() {
+                return Resolved::Deleted;
+            }
+            return Resolved::Visible {
+                version_rid: base_rid,
+                values: columns.iter().map(|&c| self.base.value(c, slot)).collect(),
+            };
+        }
+
+        // 3. Fast path: TPS interpretation (§4.2). For latest reads, when
+        // every requested column's TPS covers the head sequence, the base
+        // page is current for those columns — 2 hops, no chain walk.
+        if mode.as_of.is_none() && !columns.is_empty() {
+            let seq = head.seq() as u64;
+            let covered = columns
+                .iter()
+                .all(|&c| self.base.column_tps[c] >= seq);
+            if covered {
+                if SchemaEncoding(self.base.schema_enc(slot)).is_delete() {
+                    return Resolved::Deleted;
+                }
+                return Resolved::Visible {
+                    version_rid: head,
+                    values: columns.iter().map(|&c| self.base.value(c, slot)).collect(),
+                };
+            }
+        }
+
+        // 4. Chain walk: find the newest visible version.
+        let boundary = self.range.historic_boundary();
+        let mut cursor = head;
+        let (version_rid, version_enc) = loop {
+            if cursor.is_null() || cursor.is_base() {
+                // No visible tail version: the base record itself.
+                if SchemaEncoding(self.base.schema_enc(slot)).is_delete() {
+                    return Resolved::Deleted;
+                }
+                return Resolved::Visible {
+                    version_rid: base_rid,
+                    values: columns.iter().map(|&c| self.base.value(c, slot)).collect(),
+                };
+            }
+            let seq = cursor.seq();
+            if (seq as u64) < boundary {
+                // Crossed into the historic store.
+                return self.read_historic(slot, columns, mode, base_rid);
+            }
+            if self.resolve_tail(seq, mode).is_some() {
+                break (cursor, self.range.tail.encoding(seq));
+            }
+            cursor = self.range.tail.prev(seq);
+        };
+
+        if version_enc.is_delete() {
+            return Resolved::Deleted;
+        }
+
+        // 5. Collect requested columns from the visible version, walking
+        // older visible versions for columns it does not carry.
+        let mut values = vec![u64::MAX; columns.len()];
+        let mut missing: Vec<usize> = (0..columns.len()).collect();
+        let mut cursor = version_rid;
+        while !missing.is_empty() {
+            if cursor.is_null() || cursor.is_base() {
+                for &i in &missing {
+                    values[i] = self.base.value(columns[i], slot);
+                }
+                break;
+            }
+            let seq = cursor.seq();
+            if (seq as u64) < boundary {
+                // Remaining columns come from the historic store, as of the
+                // effective bound (historic data is strictly older).
+                let bound = mode.as_of.unwrap_or(u64::MAX);
+                for &i in missing.clone().iter() {
+                    if let Some(hist) = self.historic {
+                        if let Some(v) =
+                            hist.read_column(self.range.id, slot, columns[i], bound)
+                        {
+                            values[i] = v;
+                            missing.retain(|&m| m != i);
+                            continue;
+                        }
+                    }
+                    values[i] = self.base.value(columns[i], slot);
+                    missing.retain(|&m| m != i);
+                }
+                break;
+            }
+            // Older versions: must still be committed (skip tombstones).
+            if self.resolve_tail(seq, mode).is_some() {
+                let enc = self.range.tail.encoding(seq);
+                missing.retain(|&i| {
+                    if enc.has(columns[i]) {
+                        values[i] = self.range.tail.value(seq, columns[i]);
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+            cursor = self.range.tail.prev(seq);
+        }
+
+        Resolved::Visible {
+            version_rid,
+            values,
+        }
+    }
+
+    /// Read a single column of the record at `slot`; `None` when the record
+    /// is invisible or deleted. The scan fast path for merged columns.
+    pub fn read_column(&self, slot: u32, column: usize, mode: ReadMode) -> Option<u64> {
+        self.resolve_base(slot, mode)?;
+        let head = self.range.indirection(slot);
+        if head.is_null() {
+            if SchemaEncoding(self.base.schema_enc(slot)).is_delete() {
+                return None;
+            }
+            return Some(self.base.value(column, slot));
+        }
+        let seq = head.seq() as u64;
+        // TPS fast path; for snapshot reads additionally require that the
+        // merged image is not newer than the snapshot (Last Updated Time).
+        if self.base.column_tps[column] >= seq {
+            let fresh_enough = match mode.as_of {
+                None => true,
+                Some(bound) => {
+                    let lu = self.base.last_updated(slot);
+                    lu == lstore_storage::NULL_VALUE || lu <= bound
+                }
+            };
+            if fresh_enough {
+                if SchemaEncoding(self.base.schema_enc(slot)).is_delete() {
+                    return None;
+                }
+                return Some(self.base.value(column, slot));
+            }
+        }
+        match self.read_record(slot, &[column], mode) {
+            Resolved::Visible { values, .. } => Some(values[0]),
+            _ => None,
+        }
+    }
+
+    /// Fallback path once a walk crosses the historic boundary before
+    /// finding a visible version in regular tail pages.
+    fn read_historic(
+        &self,
+        slot: u32,
+        columns: &[usize],
+        mode: ReadMode,
+        base_rid: Rid,
+    ) -> Resolved {
+        let bound = mode.as_of.unwrap_or(u64::MAX);
+        if let Some(hist) = self.historic {
+            match hist.read_record(self.range.id, slot, columns, bound) {
+                Some(crate::historic::HistoricRead::Visible(values, filled)) => {
+                    // Columns without historic coverage fall back to base.
+                    let values = values
+                        .into_iter()
+                        .zip(columns)
+                        .zip(filled)
+                        .map(|((v, &c), has)| if has { v } else { self.base.value(c, slot) })
+                        .collect();
+                    return Resolved::Visible {
+                        version_rid: base_rid,
+                        values,
+                    };
+                }
+                Some(crate::historic::HistoricRead::Deleted) => return Resolved::Deleted,
+                None => {}
+            }
+        }
+        // No historic record: the base record as stored.
+        if SchemaEncoding(self.base.schema_enc(slot)).is_delete() {
+            return Resolved::Deleted;
+        }
+        Resolved::Visible {
+            version_rid: base_rid,
+            values: columns.iter().map(|&c| self.base.value(c, slot)).collect(),
+        }
+    }
+}

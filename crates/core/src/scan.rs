@@ -1,0 +1,302 @@
+//! Analytical scans over the unified store.
+//!
+//! Scans are the OLAP half of the paper's evaluation: snapshot-isolated
+//! aggregations over columns that are concurrently updated (§6.2 "computing
+//! the SUM aggregation on a column that is continuously been updated").
+//! A scan pins the reclamation epoch (so merged-away base pages survive
+//! until it drains, §4.1.1 step 5), snapshots each range's base version
+//! once, and reads each slot through the TPS fast path, falling back to the
+//! version chain only for records whose updates outrun the merge.
+
+use crate::range::{BaseData, BaseVersion, UpdateRange};
+use crate::read::{ReadMode, Resolved};
+use crate::rid::Rid;
+use crate::table::Table;
+
+/// Can the whole range be summed straight off its compressed base page?
+/// True when every slot's latest version for `col` is in the base page
+/// (tail fully merged), nothing is deleted, and every start/merge time is
+/// within the snapshot bound — the read-optimized path that makes L-Store
+/// scans behave like a column store (§2.1).
+fn clean_range_page<'a>(
+    range: &UpdateRange,
+    base: &'a BaseVersion,
+    col: usize,
+    ts: u64,
+) -> Option<&'a lstore_storage::page::BasePage> {
+    if base.has_deletes
+        || base.max_start == u64::MAX
+        || base.max_start > ts
+        || base.max_last_updated > ts && base.max_last_updated != u64::MAX
+    {
+        return None;
+    }
+    if (range.tail.high_seq() as u64) > base.column_tps[col] {
+        return None; // unmerged updates may supersede base values
+    }
+    match &base.data {
+        BaseData::Pages { data, .. } => Some(&data[col]),
+        BaseData::Insert(_) => None,
+    }
+}
+
+impl Table {
+    /// Current clock value — convenient snapshot timestamp for detached
+    /// scans ("now").
+    pub fn now(&self) -> u64 {
+        self.runtime.clock.peek()
+    }
+
+    /// SUM over a value column at snapshot `ts` (wrapping arithmetic, as
+    /// deleted/invisible records contribute nothing).
+    pub fn sum_as_of(&self, user_col: usize, ts: u64) -> u64 {
+        let col = user_col + 1;
+        let _guard = self.runtime.epoch.pin();
+        let mode = ReadMode::as_of(ts);
+        let mut sum = 0u64;
+        for range in self.all_ranges() {
+            let base = range.base();
+            if let Some(page) = clean_range_page(&range, &base, col, ts) {
+                sum = sum.wrapping_add(page.sum());
+                continue;
+            }
+            let reader = self.reader(&range, &base);
+            let slots = self.occupied_slots(&range, &base);
+            for slot in 0..slots {
+                if let Some(v) = reader.read_column(slot, col, mode) {
+                    sum = sum.wrapping_add(v);
+                }
+            }
+        }
+        sum
+    }
+
+    /// SUM over a value column at the current snapshot.
+    pub fn sum_auto(&self, user_col: usize) -> u64 {
+        self.sum_as_of(user_col, self.now())
+    }
+
+    /// SUM over a value column restricted to keys in `[key_lo, key_hi]` via
+    /// the primary index — the paper's partial scans "up to 10% of the data"
+    /// (§6.1).
+    pub fn sum_key_range(&self, user_col: usize, key_lo: u64, key_hi: u64, ts: u64) -> u64 {
+        let col = user_col + 1;
+        let _guard = self.runtime.epoch.pin();
+        let mode = ReadMode::as_of(ts);
+        let mut sum = 0u64;
+        // Keys are usually clustered per range; reuse the last (range, base)
+        // snapshot across consecutive keys instead of re-resolving it.
+        type Cached = (
+            u32,
+            std::sync::Arc<crate::range::UpdateRange>,
+            std::sync::Arc<crate::range::BaseVersion>,
+        );
+        let mut cache: Option<Cached> = None;
+        for key in key_lo..=key_hi {
+            let Ok(base_rid) = self.locate(key) else {
+                continue;
+            };
+            let hit = matches!(&cache, Some((rid, _, _)) if *rid == base_rid.range());
+            if !hit {
+                let r = self.range(base_rid.range());
+                let b = r.base();
+                cache = Some((base_rid.range(), r, b));
+            }
+            let (_, range, base) = cache.as_ref().expect("cache just filled");
+            let reader = self.reader(range, base);
+            if let Some(v) = reader.read_column(base_rid.slot(), col, mode) {
+                sum = sum.wrapping_add(v);
+            }
+        }
+        sum
+    }
+
+    /// RID-ordered partial scan: SUM `user_col` over `count` consecutive
+    /// record slots starting at `start` (crossing range boundaries). This is
+    /// how a columnar engine scans a segment of the table — no per-record
+    /// index lookups (§6.1's "scan up to 10% of the data").
+    pub fn sum_rid_span(&self, start: crate::rid::Rid, count: u64, user_col: usize, ts: u64) -> u64 {
+        let col = user_col + 1;
+        let _guard = self.runtime.epoch.pin();
+        let mode = ReadMode::as_of(ts);
+        let mut sum = 0u64;
+        let mut remaining = count;
+        let mut range_id = start.range();
+        let mut slot = start.slot();
+        let total_ranges = self.range_count() as u32;
+        while remaining > 0 && range_id < total_ranges {
+            let range = self.range(range_id);
+            let base = range.base();
+            let slots = self.occupied_slots(&range, &base);
+            // Whole-range coverage: sum the compressed page directly.
+            if slot == 0 && remaining >= slots as u64 {
+                if let Some(page) = clean_range_page(&range, &base, col, ts) {
+                    sum = sum.wrapping_add(page.sum());
+                    remaining -= slots as u64;
+                    range_id += 1;
+                    continue;
+                }
+            }
+            let reader = self.reader(&range, &base);
+            while slot < slots && remaining > 0 {
+                if let Some(v) = reader.read_column(slot, col, mode) {
+                    sum = sum.wrapping_add(v);
+                }
+                slot += 1;
+                remaining -= 1;
+            }
+            range_id += 1;
+            slot = 0;
+        }
+        sum
+    }
+
+    /// Count visible records at snapshot `ts`.
+    pub fn count_as_of(&self, ts: u64) -> u64 {
+        let _guard = self.runtime.epoch.pin();
+        let mode = ReadMode::as_of(ts);
+        let mut n = 0u64;
+        for range in self.all_ranges() {
+            let base = range.base();
+            let reader = self.reader(&range, &base);
+            let slots = self.occupied_slots(&range, &base);
+            for slot in 0..slots {
+                if reader.read_column(slot, 0, mode).is_some() {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Full scan: visible `(key, value-columns)` rows at snapshot `ts`.
+    pub fn scan_as_of(&self, user_cols: &[usize], ts: u64) -> Vec<(u64, Vec<u64>)> {
+        let cols: Vec<usize> = user_cols.iter().map(|&c| c + 1).collect();
+        let mut request = vec![0usize]; // key first
+        request.extend_from_slice(&cols);
+        let _guard = self.runtime.epoch.pin();
+        let mode = ReadMode::as_of(ts);
+        let mut out = Vec::new();
+        for range in self.all_ranges() {
+            let base = range.base();
+            let reader = self.reader(&range, &base);
+            let slots = self.occupied_slots(&range, &base);
+            for slot in 0..slots {
+                if let Resolved::Visible { values, .. } = reader.read_record(slot, &request, mode)
+                {
+                    out.push((values[0], values[1..].to_vec()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Multi-column consistency check (Lemma 3 / Theorem 2): read several
+    /// columns of one record, *detecting* per-column TPS divergence from
+    /// independent column merges and reconciling through the version chain.
+    /// Returns `(values, was_consistent)` where `was_consistent` is false
+    /// when the fast path had to be abandoned because the columns' TPS
+    /// counters differed.
+    pub fn read_consistent(
+        &self,
+        key: u64,
+        user_cols: &[usize],
+        ts: u64,
+    ) -> crate::error::Result<(Option<Vec<u64>>, bool)> {
+        let cols: Vec<usize> = user_cols.iter().map(|&c| c + 1).collect();
+        let base_rid = self.locate(key)?;
+        let range = self.range(base_rid.range());
+        let base = range.base();
+        // Lemma 3: "for a range of records, all read base pages must have an
+        // identical TPS counter; otherwise, the read will be inconsistent."
+        let tps0 = cols.first().map(|&c| base.column_tps[c]).unwrap_or(0);
+        let consistent = cols.iter().all(|&c| base.column_tps[c] == tps0);
+        // Theorem 2: reconciliation is always possible — the as-of chain
+        // walk brings every column to the same snapshot independently.
+        let reader = self.reader(&range, &base);
+        match reader.read_record(base_rid.slot(), &cols, ReadMode::as_of(ts)) {
+            Resolved::Visible { values, .. } => Ok((Some(values), consistent)),
+            _ => Ok((None, consistent)),
+        }
+    }
+
+    /// Latest-committed point read of all value columns (auto-commit).
+    pub fn read_latest_auto(&self, key: u64) -> crate::error::Result<Vec<u64>> {
+        let cols: Vec<usize> = (1..self.schema().column_count()).collect();
+        let base_rid = self.locate(key)?;
+        let range = self.range(base_rid.range());
+        let base = range.base();
+        let reader = self.reader(&range, &base);
+        match reader.read_record(base_rid.slot(), &cols, ReadMode::latest()) {
+            Resolved::Visible { values, .. } => Ok(values),
+            _ => Err(crate::error::Error::KeyNotFound(key)),
+        }
+    }
+
+    /// Latest-committed point read of selected value columns (auto-commit);
+    /// `None` when the record is deleted.
+    pub fn read_cols_auto(&self, key: u64, user_cols: &[usize]) -> crate::error::Result<Option<Vec<u64>>> {
+        let cols: Vec<usize> = user_cols.iter().map(|&c| c + 1).collect();
+        let base_rid = self.locate(key)?;
+        let range = self.range(base_rid.range());
+        let base = range.base();
+        let reader = self.reader(&range, &base);
+        match reader.read_record(base_rid.slot(), &cols, ReadMode::latest()) {
+            Resolved::Visible { values, .. } => Ok(Some(values)),
+            Resolved::Deleted => Ok(None),
+            Resolved::NotVisible => Ok(None),
+        }
+    }
+
+    /// Version-relative read: `versions_back = 0` is the latest committed
+    /// version, `1` the one before, etc. (the paper's "querying and
+    /// retaining the current and historic data"). `None` when the record has
+    /// fewer versions or is deleted at that version.
+    pub fn read_version_auto(
+        &self,
+        key: u64,
+        user_cols: &[usize],
+        versions_back: usize,
+    ) -> crate::error::Result<Option<Vec<u64>>> {
+        let base_rid = self.locate(key)?;
+        let range = self.range(base_rid.range());
+        let base = range.base();
+        let reader = self.reader(&range, &base);
+        // Collect distinct committed version timestamps, newest first.
+        let mut stamps = Vec::new();
+        let mut cursor = range.indirection(base_rid.slot());
+        let boundary = range.historic_boundary();
+        while cursor.is_tail() && (cursor.seq() as u64) >= boundary {
+            let cell = range.tail.start_cell(cursor.seq());
+            if let Some(ts) = self.runtime.mgr.resolve_start_time(cell, false) {
+                if !range.tail.encoding(cursor.seq()).is_snapshot() && !stamps.contains(&ts) {
+                    stamps.push(ts);
+                }
+            }
+            cursor = range.tail.prev(cursor.seq());
+        }
+        // Base version (original) is the final stamp.
+        if let Some(ts) = self
+            .runtime
+            .mgr
+            .resolve_start_time(base.start_cell(base_rid.slot()), false)
+        {
+            if !stamps.contains(&ts) {
+                stamps.push(ts);
+            }
+        }
+        let _ = reader;
+        match stamps.get(versions_back) {
+            Some(&ts) => self.read_as_of(key, user_cols, ts),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Re-export for callers that want to drive `VersionReader` directly.
+pub use crate::read::VersionReader as RawReader;
+
+#[allow(unused)]
+fn _rid_is_used(r: Rid) -> u64 {
+    r.0
+}

@@ -1,0 +1,233 @@
+//! Table schemas and the Schema Encoding meta-column.
+//!
+//! "The Schema Encoding column stores the bitmap representation of the state
+//! of the data columns for each record, where there is one bit assigned for
+//! every column in the schema (excluding the meta-data columns)" (§2.2).
+//! Two flag bits extend the bitmap:
+//!
+//! * [`SchemaEncoding::SNAPSHOT_FLAG`] — the paper's `*`: the record holds a
+//!   snapshot of *old* values taken on a column's first update (Table 2,
+//!   records t1/t4/t6).
+//! * [`SchemaEncoding::DELETE_FLAG`] — the record is a delete marker. The
+//!   paper encodes deletes as updates with all data columns ∅ (record t8);
+//!   the explicit flag keeps that interpretation unambiguous alongside
+//!   zero-column cumulative resets, and all-∅ records are still honoured as
+//!   deletes when read.
+
+use crate::error::{Error, Result};
+
+/// Maximum number of data columns a table may declare.
+pub const MAX_COLUMNS: usize = 48;
+
+/// A table schema: named data columns plus the designated key column.
+///
+/// Meta-data columns (Indirection, Schema Encoding, Start Time, Last Updated
+/// Time, Base RID) are managed by the engine and not part of the schema,
+/// mirroring Table 2 of the paper.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    columns: Vec<String>,
+    key_column: usize,
+}
+
+impl Schema {
+    /// Build a schema from column names; `key_column` indexes the unique key.
+    pub fn new(columns: &[&str], key_column: usize) -> Result<Self> {
+        if columns.len() > MAX_COLUMNS {
+            return Err(Error::TooManyColumns(columns.len()));
+        }
+        if key_column >= columns.len() {
+            return Err(Error::ColumnOutOfRange {
+                column: key_column,
+                columns: columns.len(),
+            });
+        }
+        Ok(Schema {
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            key_column,
+        })
+    }
+
+    /// Number of data columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in declaration order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Index of the key column.
+    pub fn key_column(&self) -> usize {
+        self.key_column
+    }
+
+    /// Resolve a column name to its index.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Validate a column index.
+    pub fn check_column(&self, column: usize) -> Result<()> {
+        if column >= self.columns.len() {
+            Err(Error::ColumnOutOfRange {
+                column,
+                columns: self.columns.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A Schema Encoding cell: per-column bitmap plus flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchemaEncoding(pub u64);
+
+impl SchemaEncoding {
+    /// The paper's `*`: this tail record snapshots *old* values (§3.1).
+    pub const SNAPSHOT_FLAG: u64 = 1 << 63;
+    /// This tail record is a delete marker (§3.1: delete translates into an
+    /// update with all data columns ∅).
+    pub const DELETE_FLAG: u64 = 1 << 62;
+
+    const FLAGS: u64 = Self::SNAPSHOT_FLAG | Self::DELETE_FLAG;
+
+    /// Encoding with no columns set and no flags.
+    pub fn empty() -> Self {
+        SchemaEncoding(0)
+    }
+
+    /// Build an encoding from a list of updated column indexes.
+    pub fn from_columns(cols: impl IntoIterator<Item = usize>) -> Self {
+        let mut bits = 0u64;
+        for c in cols {
+            debug_assert!(c < MAX_COLUMNS);
+            bits |= 1 << c;
+        }
+        SchemaEncoding(bits)
+    }
+
+    /// Set the bit for `column`.
+    pub fn set(&mut self, column: usize) {
+        debug_assert!(column < MAX_COLUMNS);
+        self.0 |= 1 << column;
+    }
+
+    /// Does the record carry an explicit value for `column`?
+    #[inline]
+    pub fn has(self, column: usize) -> bool {
+        self.0 & (1 << column) != 0
+    }
+
+    /// Mark as an old-values snapshot (the `*` in Table 2).
+    pub fn with_snapshot(self) -> Self {
+        SchemaEncoding(self.0 | Self::SNAPSHOT_FLAG)
+    }
+
+    /// Mark as a delete record.
+    pub fn with_delete(self) -> Self {
+        SchemaEncoding(self.0 | Self::DELETE_FLAG)
+    }
+
+    /// Is this an old-values snapshot record?
+    #[inline]
+    pub fn is_snapshot(self) -> bool {
+        self.0 & Self::SNAPSHOT_FLAG != 0
+    }
+
+    /// Is this a delete record? (Explicit flag, or the paper's implicit
+    /// all-∅ form: no column bits and no snapshot flag.)
+    #[inline]
+    pub fn is_delete(self) -> bool {
+        self.0 & Self::DELETE_FLAG != 0
+    }
+
+    /// The raw column bitmap without flags.
+    #[inline]
+    pub fn column_bits(self) -> u64 {
+        self.0 & !Self::FLAGS
+    }
+
+    /// Union of two encodings' column bits (used by cumulative updates and
+    /// by the merge when populating base-record encodings).
+    pub fn union(self, other: SchemaEncoding) -> SchemaEncoding {
+        SchemaEncoding((self.0 & !Self::FLAGS) | (other.0 & !Self::FLAGS))
+    }
+
+    /// Iterate over the set column indexes.
+    pub fn columns(self) -> impl Iterator<Item = usize> {
+        let bits = self.column_bits();
+        (0..MAX_COLUMNS).filter(move |c| bits & (1 << c) != 0)
+    }
+
+    /// Render like the paper's tables: `0101` (optionally with `*`).
+    pub fn render(self, width: usize) -> String {
+        let mut s = String::with_capacity(width + 1);
+        for c in 0..width {
+            s.push(if self.has(c) { '1' } else { '0' });
+        }
+        if self.is_snapshot() {
+            s.push('*');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_validation() {
+        let s = Schema::new(&["key", "a", "b", "c"], 0).unwrap();
+        assert_eq!(s.column_count(), 4);
+        assert_eq!(s.key_column(), 0);
+        assert_eq!(s.column_index("b"), Some(2));
+        assert!(s.check_column(3).is_ok());
+        assert!(s.check_column(4).is_err());
+        assert!(Schema::new(&["a"], 1).is_err());
+        let many: Vec<String> = (0..49).map(|i| format!("c{i}")).collect();
+        let refs: Vec<&str> = many.iter().map(String::as_str).collect();
+        assert!(matches!(Schema::new(&refs, 0), Err(Error::TooManyColumns(49))));
+    }
+
+    #[test]
+    fn encoding_bits_and_flags() {
+        let mut e = SchemaEncoding::from_columns([0, 2]);
+        assert!(e.has(0) && !e.has(1) && e.has(2));
+        e.set(1);
+        assert!(e.has(1));
+        let snap = e.with_snapshot();
+        assert!(snap.is_snapshot() && !e.is_snapshot());
+        assert_eq!(snap.column_bits(), e.column_bits());
+        let del = SchemaEncoding::empty().with_delete();
+        assert!(del.is_delete());
+    }
+
+    #[test]
+    fn render_matches_paper_tables() {
+        // Table 2: t1 has Schema Encoding "0100*" over columns A,B,C plus key.
+        // Column order in the paper's table is (Key, A, B, C) → A is index 1.
+        let t1 = SchemaEncoding::from_columns([1]).with_snapshot();
+        assert_eq!(t1.render(4), "0100*");
+        let t5 = SchemaEncoding::from_columns([1, 3]);
+        assert_eq!(t5.render(4), "0101");
+    }
+
+    #[test]
+    fn union_ignores_flags() {
+        let a = SchemaEncoding::from_columns([0]).with_snapshot();
+        let b = SchemaEncoding::from_columns([1]);
+        let u = a.union(b);
+        assert!(u.has(0) && u.has(1));
+        assert!(!u.is_snapshot());
+    }
+
+    #[test]
+    fn columns_iterates_set_bits() {
+        let e = SchemaEncoding::from_columns([1, 3, 5]);
+        assert_eq!(e.columns().collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Engine statistics counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lifetime counters for one table. All counters are monotone and relaxed —
+//  they inform benchmarks and tests, never control flow.
+#[derive(Debug, Default)]
+pub struct TableStats {
+    /// Records inserted.
+    pub inserts: AtomicU64,
+    /// Update statements applied (tail records, excluding snapshots).
+    pub updates: AtomicU64,
+    /// Delete statements applied.
+    pub deletes: AtomicU64,
+    /// First-update snapshot records taken (§3.1).
+    pub snapshots_taken: AtomicU64,
+    /// Write-write conflicts detected (→ aborts).
+    pub write_conflicts: AtomicU64,
+    /// Merge passes executed.
+    pub merges: AtomicU64,
+    /// Tail records consumed by merges.
+    pub merged_records: AtomicU64,
+    /// Insert ranges graduated to base pages.
+    pub insert_merges: AtomicU64,
+    /// Tail records compressed into the historic store.
+    pub historic_compressed: AtomicU64,
+    /// Reads served entirely from base pages (⊥ or TPS fast path).
+    pub fast_path_reads: AtomicU64,
+    /// Reads that walked the version chain.
+    pub chain_reads: AtomicU64,
+}
+
+impl TableStats {
+    /// Bump a counter.
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add to a counter.
+    #[inline]
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot all counters into a plain struct for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            inserts: self.inserts.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            snapshots_taken: self.snapshots_taken.load(Ordering::Relaxed),
+            write_conflicts: self.write_conflicts.load(Ordering::Relaxed),
+            merges: self.merges.load(Ordering::Relaxed),
+            merged_records: self.merged_records.load(Ordering::Relaxed),
+            insert_merges: self.insert_merges.load(Ordering::Relaxed),
+            historic_compressed: self.historic_compressed.load(Ordering::Relaxed),
+            fast_path_reads: self.fast_path_reads.load(Ordering::Relaxed),
+            chain_reads: self.chain_reads.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`TableStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Records inserted.
+    pub inserts: u64,
+    /// Update statements applied.
+    pub updates: u64,
+    /// Delete statements applied.
+    pub deletes: u64,
+    /// First-update snapshot records taken.
+    pub snapshots_taken: u64,
+    /// Write-write conflicts detected.
+    pub write_conflicts: u64,
+    /// Merge passes executed.
+    pub merges: u64,
+    /// Tail records consumed by merges.
+    pub merged_records: u64,
+    /// Insert ranges graduated to base pages.
+    pub insert_merges: u64,
+    /// Tail records compressed into the historic store.
+    pub historic_compressed: u64,
+    /// Fast-path reads.
+    pub fast_path_reads: u64,
+    /// Chain-walk reads.
+    pub chain_reads: u64,
+}

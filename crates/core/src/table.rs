@@ -1,0 +1,844 @@
+//! The L-Store table: fine-grained storage manipulation (§3) on top of the
+//! lineage-based architecture.
+//!
+//! A table owns its update ranges, primary and secondary indexes, historic
+//! store, and statistics. Writes follow §3.1/§3.2 exactly:
+//!
+//! * **Update**: latch the indirection cell (CAS on the embedded latch bit),
+//!   detect write-write conflicts on the latest version's Start Time, take a
+//!   first-update snapshot of original values per newly-touched column,
+//!   append the (optionally cumulative) tail record, install the new
+//!   indirection pointer, release the latch.
+//! * **Delete**: an update whose tail record carries the delete flag and no
+//!   explicit values.
+//! * **Insert**: reserve an aligned slot in the current insert range, append
+//!   the full record to the table-level tail pages, leave the base-side
+//!   indirection at ⊥.
+//!
+//! Column indexing convention: the public API addresses *value columns*
+//! (excluding the key). Internally the key is data column 0, so a table
+//! created with `n` value columns has `n + 1` data columns — mirroring the
+//! paper's Table 2 layout (Key, A, B, C).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use lstore_index::{PrimaryIndex, SecondaryIndex};
+use lstore_txn::{ReadSetEntry, Transaction, TxnStatus};
+use lstore_wal::LogRecord;
+
+use crate::config::TableConfig;
+use crate::db::Runtime;
+use crate::error::{Error, Result};
+use crate::historic::HistoricStore;
+use crate::merge::{self, MergeReport};
+use crate::range::UpdateRange;
+use crate::read::{ReadMode, Resolved, VersionReader};
+use crate::rid::Rid;
+use crate::schema::{Schema, SchemaEncoding};
+use crate::stats::{StatsSnapshot, TableStats};
+
+/// A lineage-based table.
+pub struct Table {
+    pub(crate) id: u32,
+    name: String,
+    schema: Schema,
+    config: TableConfig,
+    pub(crate) runtime: Arc<Runtime>,
+    ranges: RwLock<Vec<Arc<UpdateRange>>>,
+    /// Range currently accepting inserts.
+    current_insert: AtomicU32,
+    pk: PrimaryIndex,
+    secondary: RwLock<Vec<(usize, Arc<SecondaryIndex>)>>,
+    pub(crate) historic: HistoricStore,
+    stats: TableStats,
+}
+
+impl Table {
+    pub(crate) fn create(
+        id: u32,
+        name: &str,
+        value_columns: &[&str],
+        config: TableConfig,
+        runtime: Arc<Runtime>,
+    ) -> Result<Arc<Table>> {
+        let mut cols: Vec<&str> = Vec::with_capacity(value_columns.len() + 1);
+        cols.push("key");
+        cols.extend_from_slice(value_columns);
+        let schema = Schema::new(&cols, 0)?;
+        let ncols = schema.column_count();
+        let first = Arc::new(UpdateRange::new(
+            0,
+            config.insert_range_size,
+            ncols,
+            config.tail_page_slots,
+        ));
+        Ok(Arc::new(Table {
+            id,
+            name: name.to_string(),
+            schema,
+            config,
+            runtime,
+            ranges: RwLock::new(vec![first]),
+            current_insert: AtomicU32::new(0),
+            pk: PrimaryIndex::new(),
+            secondary: RwLock::new(Vec::new()),
+            historic: HistoricStore::new(),
+            stats: TableStats::default(),
+        }))
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of *value* columns (excluding the key).
+    pub fn value_columns(&self) -> usize {
+        self.schema.column_count() - 1
+    }
+
+    /// The table's schema (key + value columns).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The table's configuration.
+    pub fn config(&self) -> &TableConfig {
+        &self.config
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Number of update ranges.
+    pub fn range_count(&self) -> usize {
+        self.ranges.read().len()
+    }
+
+    /// Advanced API: fetch a range handle (used by benches and tests that
+    /// drive merges at a fine grain).
+    pub fn range_handle(&self, id: u32) -> Arc<UpdateRange> {
+        self.range(id)
+    }
+
+    /// Fetch a range by id.
+    pub(crate) fn range(&self, id: u32) -> Arc<UpdateRange> {
+        Arc::clone(&self.ranges.read()[id as usize])
+    }
+
+    /// All ranges (snapshot of the list).
+    pub(crate) fn all_ranges(&self) -> Vec<Arc<UpdateRange>> {
+        self.ranges.read().clone()
+    }
+
+    /// Map a public value-column index to the internal data-column index.
+    #[inline]
+    fn internal_col(&self, user_col: usize) -> Result<usize> {
+        if user_col + 1 >= self.schema.column_count() {
+            return Err(Error::ColumnOutOfRange {
+                column: user_col,
+                columns: self.value_columns(),
+            });
+        }
+        Ok(user_col + 1)
+    }
+
+    /// Register an ordered secondary index on a value column. Existing rows
+    /// are back-filled from their latest committed versions.
+    pub fn create_secondary_index(&self, user_col: usize) -> Result<Arc<SecondaryIndex>> {
+        let col = self.internal_col(user_col)?;
+        let idx = Arc::new(SecondaryIndex::new());
+        // Back-fill.
+        let mode = ReadMode::latest();
+        for range in self.all_ranges() {
+            let base = range.base();
+            let reader = self.reader(&range, &base);
+            let slots = self.occupied_slots(&range, &base);
+            for slot in 0..slots {
+                if let Resolved::Visible { values, .. } =
+                    reader.read_record(slot, &[col, 0], mode)
+                {
+                    idx.insert(values[0], Rid::base(range.id, slot).0);
+                }
+            }
+        }
+        self.secondary.write().push((col, Arc::clone(&idx)));
+        Ok(idx)
+    }
+
+    /// Look up a secondary index previously created on `user_col`.
+    pub fn secondary_index(&self, user_col: usize) -> Option<Arc<SecondaryIndex>> {
+        let col = user_col + 1;
+        self.secondary
+            .read()
+            .iter()
+            .find(|(c, _)| *c == col)
+            .map(|(_, i)| Arc::clone(i))
+    }
+
+    pub(crate) fn reader<'a>(
+        &'a self,
+        range: &'a UpdateRange,
+        base: &'a crate::range::BaseVersion,
+    ) -> VersionReader<'a> {
+        VersionReader {
+            range,
+            base,
+            mgr: &self.runtime.mgr,
+            historic: Some(&self.historic),
+        }
+    }
+
+    pub(crate) fn occupied_slots(
+        &self,
+        range: &UpdateRange,
+        base: &crate::range::BaseVersion,
+    ) -> u32 {
+        if base.is_insert_phase() {
+            range.used_slots()
+        } else {
+            base.len as u32
+        }
+    }
+
+    /// Resolve a key to its stable base RID via the primary index.
+    pub fn locate(&self, key: u64) -> Result<Rid> {
+        self.pk
+            .get(key)
+            .map(Rid)
+            .ok_or(Error::KeyNotFound(key))
+    }
+
+    // ------------------------------------------------------------------
+    // Insert (§3.2)
+    // ------------------------------------------------------------------
+
+    /// Insert a record within `txn`. `values` are the value columns.
+    pub fn insert(&self, txn: &mut Transaction, key: u64, values: &[u64]) -> Result<Rid> {
+        if values.len() != self.value_columns() {
+            return Err(Error::ColumnOutOfRange {
+                column: values.len(),
+                columns: self.value_columns(),
+            });
+        }
+        // Allocate an aligned slot in the current insert range.
+        let (range, slot) = loop {
+            let cur = self.current_insert.load(Ordering::Acquire);
+            let range = self.range(cur);
+            if let Some(slot) = range.allocate_slot() {
+                break (range, slot);
+            }
+            self.grow_insert_range(cur);
+        };
+        let rid = Rid::base(range.id, slot);
+        // Uniqueness: claim the primary-index entry first.
+        if let Some(prev) = self.pk.insert(key, rid.0) {
+            self.pk.insert(key, prev); // restore
+            return Err(Error::DuplicateKey(key));
+        }
+
+        // "the insertion procedure simply consists of acquiring base and
+        // tail RIDs, insert the actual record to table-level tail-pages, and
+        // setting the Indirection column in the base record to null" — the
+        // indirection array is pre-nulled at range creation.
+        let base = range.base();
+        if let crate::range::BaseData::Insert(tail) = &base.data {
+            tail.data[0].set(slot as usize, key);
+            for (i, &v) in values.iter().enumerate() {
+                tail.data[i + 1].set(slot as usize, v);
+            }
+            // Start Time last: publishes the record.
+            tail.start_time.set(slot as usize, txn.id);
+        } else {
+            unreachable!("current insert range left insert phase prematurely");
+        }
+
+        if let Some(wal) = &self.runtime.wal {
+            let mut row = Vec::with_capacity(values.len() + 1);
+            row.push(key);
+            row.extend_from_slice(values);
+            wal.append(&LogRecord::Insert {
+                table_id: self.id,
+                range_id: range.id,
+                slot,
+                txn_id: txn.id,
+                values: row,
+            })?;
+        }
+        txn.track_insert(self.id, rid.0, key);
+        for (col, idx) in self.secondary.read().iter() {
+            let v = if *col == 0 { key } else { values[*col - 1] };
+            idx.insert(v, rid.0);
+        }
+        TableStats::bump(&self.stats.inserts);
+
+        // A filled insert range is a candidate for the simplified merge.
+        if slot as usize + 1 == range.capacity {
+            self.enqueue_merge(&range);
+        }
+        Ok(rid)
+    }
+
+    fn grow_insert_range(&self, full_id: u32) {
+        let mut ranges = self.ranges.write();
+        if self.current_insert.load(Ordering::Acquire) != full_id {
+            return; // another inserter already grew the table
+        }
+        let id = ranges.len() as u32;
+        ranges.push(Arc::new(UpdateRange::new(
+            id,
+            self.config.insert_range_size,
+            self.schema.column_count(),
+            self.config.tail_page_slots,
+        )));
+        self.current_insert.store(id, Ordering::Release);
+    }
+
+    // ------------------------------------------------------------------
+    // Update & delete (§3.1)
+    // ------------------------------------------------------------------
+
+    /// Update value columns of the record with `key` within `txn`.
+    pub fn update(&self, txn: &mut Transaction, key: u64, updates: &[(usize, u64)]) -> Result<Rid> {
+        let mut internal = Vec::with_capacity(updates.len());
+        for &(c, v) in updates {
+            internal.push((self.internal_col(c)?, v));
+        }
+        self.write_tail(txn, key, &internal, false)
+    }
+
+    /// Delete the record with `key` within `txn` ("simply translated into an
+    /// update operation, in which all data columns are implicitly set to ∅").
+    pub fn delete(&self, txn: &mut Transaction, key: u64) -> Result<Rid> {
+        let rid = self.write_tail(txn, key, &[], true)?;
+        TableStats::bump(&self.stats.deletes);
+        Ok(rid)
+    }
+
+    fn write_tail(
+        &self,
+        txn: &mut Transaction,
+        key: u64,
+        internal_updates: &[(usize, u64)],
+        is_delete: bool,
+    ) -> Result<Rid> {
+        let base_rid = self.locate(key)?;
+        let range = self.range(base_rid.range());
+        let slot = base_rid.slot();
+        let base = range.base();
+
+        // §5.1.1 write: latch via the indirection latch bit.
+        let prev = match range.try_latch(slot) {
+            Some(p) => p,
+            None => {
+                TableStats::bump(&self.stats.write_conflicts);
+                return Err(Error::WriteConflict { base_rid: base_rid.0 });
+            }
+        };
+
+        // Write-write conflict: is the latest version's Start Time a
+        // competing uncommitted transaction?
+        let head_start = if prev.is_null() {
+            base.start_cell(slot)
+        } else if (prev.seq() as u64) < range.historic_boundary() {
+            0 // historic versions are committed by construction
+        } else {
+            range.tail.start_cell(prev.seq())
+        };
+        if lstore_txn::is_txn_id(head_start) && head_start != txn.id {
+            match self.runtime.mgr.get(head_start).map(|i| i.status) {
+                Some(TxnStatus::Active) | Some(TxnStatus::PreCommit) => {
+                    range.unlatch_restore(slot, prev);
+                    TableStats::bump(&self.stats.write_conflicts);
+                    return Err(Error::WriteConflict { base_rid: base_rid.0 });
+                }
+                _ => {}
+            }
+        }
+
+        // Updating a deleted (or not-yet-visible) record is an error: the
+        // delete marker is the latest visible version, and SQL-style updates
+        // of deleted rows affect nothing.
+        if !is_delete {
+            let reader = self.reader(&range, &base);
+            let mode = ReadMode {
+                as_of: None,
+                txn_id: txn.id,
+                speculative: false,
+                exclude_own: false,
+            };
+            // Empty column list: resolves the newest visible version only —
+            // O(uncommitted-prefix), never a full chain walk.
+            match reader.read_record(slot, &[], mode) {
+                Resolved::Visible { .. } => {}
+                _ => {
+                    range.unlatch_restore(slot, prev);
+                    return Err(Error::KeyNotFound(key));
+                }
+            }
+        }
+
+        // First-update snapshots (§3.1): for columns never updated before,
+        // append a tail record holding the *original* values, stamped with
+        // the base record's original Start Time. This is what makes
+        // discarding outdated base pages safe (Lemma 2).
+        let ncols = self.schema.column_count();
+        let all_bits = (1u64 << ncols) - 1;
+        let upd_bits = if is_delete {
+            // Deletes virtually touch every column (§3.1: all data columns
+            // set to ∅); snapshotting the not-yet-updated ones first keeps
+            // the pre-delete version reconstructible after merges null the
+            // base record (the paper's footnote-9 requirement).
+            all_bits
+        } else {
+            internal_updates
+                .iter()
+                .fold(0u64, |b, &(c, _)| b | (1 << c))
+        };
+        let fresh_bits = upd_bits & !range.updated_columns(slot);
+        let mut chain_prev = if prev.is_null() { base_rid } else { prev };
+        if fresh_bits != 0 {
+            let snap_enc = SchemaEncoding(fresh_bits).with_snapshot();
+            let snap_cols: Vec<(usize, u64)> = snap_enc
+                .columns()
+                .map(|c| (c, base.value(c, slot)))
+                .collect();
+            let snap_seq = range.tail.allocate_seq();
+            range.tail.write_record(
+                snap_seq,
+                chain_prev,
+                snap_enc,
+                base_rid,
+                &snap_cols,
+                base.start_cell(slot), // original start time (t1 in Table 2)
+            );
+            if let Some(wal) = &self.runtime.wal {
+                wal.append(&LogRecord::TailAppend {
+                    table_id: self.id,
+                    range_id: range.id,
+                    seq: snap_seq,
+                    txn_id: txn.id,
+                    base_rid: base_rid.0,
+                    prev_rid: chain_prev.0,
+                    schema_encoding: snap_enc.0,
+                    columns: snap_cols.iter().map(|&(c, v)| (c as u16, v)).collect(),
+                })?;
+            }
+            chain_prev = Rid::tail(range.id, snap_seq);
+            range.mark_updated(slot, fresh_bits);
+            range.note_tail_append();
+            TableStats::bump(&self.stats.snapshots_taken);
+        }
+
+        // Cumulative carry (§3.1): repeat the latest values of previously
+        // updated columns, unless cumulation was reset by a merge (§4.2).
+        let mut enc = SchemaEncoding(upd_bits);
+        let mut columns: Vec<(usize, u64)> = internal_updates.to_vec();
+        if is_delete {
+            enc = SchemaEncoding::empty().with_delete();
+        } else if self.config.cumulative_updates
+            && prev.is_tail()
+            && (prev.seq() as u64) > range.cumulation_reset()
+            && (prev.seq() as u64) >= range.historic_boundary()
+        {
+            let prev_seq = prev.seq();
+            let prev_cell = range.tail.start_cell(prev_seq);
+            let carry_ok = !lstore_txn::is_txn_id(prev_cell)
+                || prev_cell == txn.id
+                || matches!(
+                    self.runtime.mgr.get(prev_cell).map(|i| i.status),
+                    Some(TxnStatus::Committed)
+                );
+            if carry_ok {
+                let prev_enc = range.tail.encoding(prev_seq);
+                if !prev_enc.is_delete() {
+                    for c in prev_enc.columns() {
+                        if upd_bits & (1 << c) == 0 {
+                            columns.push((c, range.tail.value(prev_seq, c)));
+                            enc.set(c);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Append the new version and install the indirection pointer.
+        let seq = range.tail.allocate_seq();
+        range
+            .tail
+            .write_record(seq, chain_prev, enc, base_rid, &columns, txn.id);
+        if let Some(wal) = &self.runtime.wal {
+            wal.append(&LogRecord::TailAppend {
+                table_id: self.id,
+                range_id: range.id,
+                seq,
+                txn_id: txn.id,
+                base_rid: base_rid.0,
+                prev_rid: chain_prev.0,
+                schema_encoding: enc.0,
+                columns: columns.iter().map(|&(c, v)| (c as u16, v)).collect(),
+            })?;
+        }
+        let tail_rid = Rid::tail(range.id, seq);
+        range.mark_updated(slot, upd_bits);
+        range.unlatch_install(slot, tail_rid);
+        txn.track_write(self.id, base_rid.0, tail_rid.0);
+        TableStats::bump(&self.stats.updates);
+
+        // Secondary-index maintenance: add (new value, base RID); defer the
+        // removal of superseded entries (§3.1 footnote 3).
+        for (col, idx) in self.secondary.read().iter() {
+            if let Some(&(_, v)) = columns.iter().find(|(c, _)| c == col) {
+                idx.insert(v, base_rid.0);
+                // The superseded (old-value, rid) entry is *not* removed here:
+                // removal is deferred until the change falls outside every
+                // active snapshot (§3.1 footnote 3). Stale hits are filtered
+                // by predicate re-evaluation; `SecondaryIndex::gc` prunes.
+            }
+        }
+
+        let unmerged = range.note_tail_append();
+        if unmerged >= self.config.merge_threshold as u64 {
+            self.enqueue_merge(&range);
+        }
+        Ok(tail_rid)
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    fn mode_for(&self, txn: &Transaction, speculative: bool) -> ReadMode {
+        match txn.isolation {
+            lstore_txn::IsolationLevel::ReadCommitted => ReadMode {
+                as_of: None,
+                txn_id: txn.id,
+                speculative,
+                exclude_own: false,
+            },
+            lstore_txn::IsolationLevel::Snapshot
+            | lstore_txn::IsolationLevel::RepeatableRead => ReadMode {
+                as_of: Some(txn.begin),
+                txn_id: txn.id,
+                speculative,
+                exclude_own: false,
+            },
+        }
+    }
+
+    /// Read value columns of `key` within `txn`; `None` when deleted or not
+    /// visible.
+    pub fn read(
+        &self,
+        txn: &mut Transaction,
+        key: u64,
+        user_cols: &[usize],
+    ) -> Result<Option<Vec<u64>>> {
+        self.read_impl(txn, key, user_cols, false)
+    }
+
+    /// Speculative read (§5.1.1): also sees pre-committed versions; forces
+    /// commit-time validation of this read.
+    pub fn read_speculative(
+        &self,
+        txn: &mut Transaction,
+        key: u64,
+        user_cols: &[usize],
+    ) -> Result<Option<Vec<u64>>> {
+        self.read_impl(txn, key, user_cols, true)
+    }
+
+    fn read_impl(
+        &self,
+        txn: &mut Transaction,
+        key: u64,
+        user_cols: &[usize],
+        speculative: bool,
+    ) -> Result<Option<Vec<u64>>> {
+        let cols: Vec<usize> = user_cols
+            .iter()
+            .map(|&c| self.internal_col(c))
+            .collect::<Result<_>>()?;
+        let base_rid = self.locate(key)?;
+        let range = self.range(base_rid.range());
+        let base = range.base();
+        let reader = self.reader(&range, &base);
+        let mode = self.mode_for(txn, speculative);
+        match reader.read_record(base_rid.slot(), &cols, mode) {
+            Resolved::Visible {
+                version_rid,
+                values,
+            } => {
+                txn.track_read(ReadSetEntry {
+                    table_id: self.id,
+                    base_rid: base_rid.0,
+                    version_rid: version_rid.0,
+                    speculative,
+                });
+                Ok(Some(values))
+            }
+            Resolved::Deleted => {
+                txn.track_read(ReadSetEntry {
+                    table_id: self.id,
+                    base_rid: base_rid.0,
+                    version_rid: 0,
+                    speculative,
+                });
+                Ok(None)
+            }
+            Resolved::NotVisible => Ok(None),
+        }
+    }
+
+    /// Detached snapshot read of `key` as of timestamp `ts` (time travel).
+    pub fn read_as_of(&self, key: u64, user_cols: &[usize], ts: u64) -> Result<Option<Vec<u64>>> {
+        let cols: Vec<usize> = user_cols
+            .iter()
+            .map(|&c| self.internal_col(c))
+            .collect::<Result<_>>()?;
+        let base_rid = self.locate(key)?;
+        let range = self.range(base_rid.range());
+        let base = range.base();
+        let reader = self.reader(&range, &base);
+        match reader.read_record(base_rid.slot(), &cols, ReadMode::as_of(ts)) {
+            Resolved::Visible { values, .. } => Ok(Some(values)),
+            _ => Ok(None),
+        }
+    }
+
+    /// Validation hook (§5.1.1 validate-reads): is `entry`'s observed
+    /// version still the visible one for the committing transaction?
+    pub(crate) fn validate_read(&self, entry: &ReadSetEntry, txn_id: u64) -> bool {
+        let base_rid = Rid(entry.base_rid);
+        let range = self.range(base_rid.range());
+        let base = range.base();
+        let reader = self.reader(&range, &base);
+        let mode = ReadMode {
+            as_of: None,
+            txn_id,
+            speculative: entry.speculative,
+            exclude_own: true,
+        };
+        match reader.read_record(base_rid.slot(), &[0], mode) {
+            Resolved::Visible { version_rid, .. } => version_rid.0 == entry.version_rid,
+            Resolved::Deleted => entry.version_rid == 0,
+            Resolved::NotVisible => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Merge & historic control
+    // ------------------------------------------------------------------
+
+    fn enqueue_merge(&self, range: &Arc<UpdateRange>) {
+        if !self.config.auto_merge {
+            return;
+        }
+        if !range.claim_merge() {
+            return;
+        }
+        if !self.runtime.enqueue_merge(self.id, range.id) {
+            range.merge_done(); // no daemon: leave to manual merges
+        }
+    }
+
+    /// Process one merge request (called by the merge daemon or tests).
+    pub(crate) fn process_merge(&self, range_id: u32) -> MergeReport {
+        self.process_merge_inner(range_id, false)
+    }
+
+    fn process_merge_inner(&self, range_id: u32, force_seal: bool) -> MergeReport {
+        let range = self.range(range_id);
+        let mut report = MergeReport::default();
+        if range.base().is_insert_phase() {
+            if force_seal {
+                self.seal_insert_range(range_id);
+            }
+            if merge::merge_insert_range(
+                &range,
+                &self.runtime.mgr,
+                &self.runtime.epoch,
+                &self.config,
+                force_seal,
+            ) {
+                TableStats::bump(&self.stats.insert_merges);
+            } else {
+                range.merge_done();
+                return report;
+            }
+        }
+        report = merge::merge_range(
+            &range,
+            &self.runtime.mgr,
+            &self.runtime.epoch,
+            &self.config,
+            None,
+            None,
+        );
+        if report.swapped {
+            TableStats::bump(&self.stats.merges);
+            TableStats::add(&self.stats.merged_records, report.consumed);
+            if let Some(wal) = &self.runtime.wal {
+                let _ = wal.append(&LogRecord::MergeCompleted {
+                    table_id: self.id,
+                    range_id,
+                    tps: report.tps,
+                });
+            }
+        }
+        range.merge_done();
+        report
+    }
+
+    /// Synchronously merge one range, sealing a partially-filled insert
+    /// range first (insert graduation + tail merge).
+    pub fn merge_now(&self, range_id: u32) -> MergeReport {
+        self.process_merge_inner(range_id, true)
+    }
+
+    /// Synchronously merge every range; returns total tail records consumed.
+    /// Partially-filled insert ranges are sealed (new inserts go to a fresh
+    /// range) so their records graduate to base pages immediately.
+    pub fn merge_all(&self) -> u64 {
+        let mut total = 0;
+        for range in self.all_ranges() {
+            total += self.process_merge_inner(range.id, true).consumed;
+        }
+        total
+    }
+
+    /// Stop directing inserts at `range_id` (a new insert range takes over)
+    /// so the range can graduate even while partially filled.
+    fn seal_insert_range(&self, range_id: u32) {
+        if self.current_insert.load(Ordering::Acquire) != range_id {
+            return; // not the active insert range
+        }
+        self.grow_insert_range(range_id);
+    }
+
+    /// Merge only a subset of value columns of one range — the independent
+    /// per-column merge of §4.2 (used by tests and ablations).
+    pub fn merge_columns_now(&self, range_id: u32, user_cols: &[usize]) -> Result<MergeReport> {
+        let cols: Vec<usize> = user_cols
+            .iter()
+            .map(|&c| self.internal_col(c))
+            .collect::<Result<_>>()?;
+        let range = self.range(range_id);
+        Ok(merge::merge_range(
+            &range,
+            &self.runtime.mgr,
+            &self.runtime.epoch,
+            &self.config,
+            None,
+            Some(&cols),
+        ))
+    }
+
+    /// Merge every range up to an agreed time `ti` (§4.1.3): after this
+    /// call, every merged base page reflects exactly the committed updates
+    /// with commit time ≤ `ti`, forming an almost up-to-date consistent
+    /// snapshot across the table for relaxed analytical queries. Returns the
+    /// total tail records consumed.
+    pub fn merge_upto_time(&self, ti: u64) -> u64 {
+        let mut total = 0;
+        for range in self.all_ranges() {
+            if range.base().is_insert_phase() {
+                continue; // graduates via the insert merge first
+            }
+            let from = range.base().tps + 1;
+            let bounded =
+                merge::committed_prefix_upto_time(&range, from, &self.runtime.mgr, ti);
+            if bounded < from {
+                continue;
+            }
+            let limit = bounded - from + 1;
+            let report = merge::merge_range(
+                &range,
+                &self.runtime.mgr,
+                &self.runtime.epoch,
+                &self.config,
+                Some(limit),
+                None,
+            );
+            total += report.consumed;
+        }
+        total
+    }
+
+    /// Per-range temporal lineage (§4.1.3): the earliest commit timestamp
+    /// not yet merged, or `None` when the range is fully merged.
+    pub fn earliest_unmerged_ts(&self, range_id: u32) -> Option<u64> {
+        merge::earliest_unmerged_ts(&self.range(range_id), &self.runtime.mgr)
+    }
+
+    /// Compress merged tail records older than `oldest_snapshot` into the
+    /// historic store (§4.3). Returns records compressed.
+    pub fn compress_historic(&self, range_id: u32, oldest_snapshot: u64) -> usize {
+        let range = self.range(range_id);
+        let tps = range.base().tps;
+        let n = self.historic.compress_range(
+            &range,
+            tps,
+            oldest_snapshot,
+            &self.runtime.mgr,
+        );
+        if n > 0 {
+            TableStats::add(&self.stats.historic_compressed, n as u64);
+            if let Some(wal) = &self.runtime.wal {
+                let _ = wal.append(&LogRecord::HistoricCompressed {
+                    table_id: self.id,
+                    range_id,
+                    below_seq: range.historic_boundary(),
+                });
+            }
+        }
+        n
+    }
+
+    /// Total unmerged tail records across ranges (merge-lag metric, Fig. 8).
+    pub fn unmerged_tail_records(&self) -> u64 {
+        self.all_ranges().iter().map(|r| r.unmerged()).sum()
+    }
+
+    pub(crate) fn pk_remove_inner(&self, key: u64) {
+        self.pk.remove(key);
+    }
+
+    pub(crate) fn pk_insert_raw(&self, key: u64, rid: Rid) {
+        self.pk.insert(key, rid.0);
+    }
+
+    /// Append an empty insert-phase range (WAL replay re-creates the range
+    /// layout the table had before the crash).
+    pub(crate) fn grow_for_replay(&self) {
+        let mut ranges = self.ranges.write();
+        let id = ranges.len() as u32;
+        ranges.push(Arc::new(UpdateRange::new(
+            id,
+            self.config.insert_range_size,
+            self.schema.column_count(),
+            self.config.tail_page_slots,
+        )));
+        self.current_insert.store(id, Ordering::Release);
+    }
+
+    /// Total encoded bytes of all base pages (storage-footprint metric).
+    pub fn base_bytes(&self) -> usize {
+        self.all_ranges().iter().map(|r| r.base().encoded_bytes()).sum()
+    }
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("ranges", &self.range_count())
+            .finish()
+    }
+}

@@ -1,0 +1,249 @@
+//! Per-range tail segments: the write-optimized side of the architecture.
+//!
+//! For every update range, "upon the first update to that range, a set of
+//! tail pages are created … for the updated columns" (§3.1, lazy tail-page
+//! allocation). A [`TailSegment`] owns those pages: always-present meta
+//! columns (Indirection back-pointers, Schema Encoding, Start Time, Base
+//! RID) and lazily materialized data columns — "a column that has never
+//! been updated does not even have to be materialized" (§3.1).
+//!
+//! Tail records are addressed by their per-range sequence number (`seq ≥
+//! 1`), handed out by an atomic counter; the record at `seq` lives at index
+//! `seq - 1` in every column, keeping all columns of a record aligned
+//! ("no join is necessary to pull together all columns of the same record",
+//! §2.1).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use lstore_storage::tail::AppendVec;
+use lstore_storage::NULL_VALUE;
+
+use crate::rid::Rid;
+use crate::schema::SchemaEncoding;
+
+/// The tail pages of one update range.
+#[derive(Debug)]
+pub struct TailSegment {
+    range_id: u32,
+    /// Next sequence number to hand out (starts at 1).
+    next_seq: AtomicU32,
+    /// Back-pointer to the previous version (tail RID, or base RID for the
+    /// first version) — the tail-record Indirection column of §2.2.
+    indirection: AppendVec,
+    /// Schema Encoding cells.
+    schema_enc: AppendVec,
+    /// Start Time cells; hold transaction ids until lazily swapped to commit
+    /// timestamps (§5.1.1 commit).
+    start_time: AppendVec,
+    /// Base RID column, "utilized to improve the merge process" (§2.2) and
+    /// to rebuild the indirection column after a crash (§5.1.3).
+    base_rid: AppendVec,
+    /// One lazily-paged column per data column.
+    data: Box<[AppendVec]>,
+}
+
+impl TailSegment {
+    /// Create an empty segment for `range_id` with `columns` data columns.
+    pub fn new(range_id: u32, columns: usize, page_slots: usize) -> Self {
+        TailSegment {
+            range_id,
+            next_seq: AtomicU32::new(1),
+            indirection: AppendVec::new(page_slots),
+            schema_enc: AppendVec::new(page_slots),
+            start_time: AppendVec::new(page_slots),
+            base_rid: AppendVec::new(page_slots),
+            data: (0..columns).map(|_| AppendVec::new(page_slots)).collect(),
+        }
+    }
+
+    /// The range this segment belongs to.
+    pub fn range_id(&self) -> u32 {
+        self.range_id
+    }
+
+    /// Allocate the next tail sequence number.
+    pub fn allocate_seq(&self) -> u32 {
+        self.next_seq.fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Highest sequence number allocated so far (0 when none).
+    pub fn high_seq(&self) -> u32 {
+        self.next_seq.load(Ordering::Acquire) - 1
+    }
+
+    /// Make sure the allocator is past `seq` (WAL replay writes records at
+    /// their logged sequence numbers).
+    pub fn ensure_seq(&self, seq: u32) {
+        self.next_seq.fetch_max(seq + 1, Ordering::AcqRel);
+    }
+
+    /// Write one tail record at `seq`. Data columns are written first and
+    /// the Start Time cell last (Release ordering), so a record whose start
+    /// cell is readable has all its values in place.
+    #[allow(clippy::too_many_arguments)]
+    pub fn write_record(
+        &self,
+        seq: u32,
+        prev: Rid,
+        encoding: SchemaEncoding,
+        base: Rid,
+        columns: &[(usize, u64)],
+        start_cell: u64,
+    ) {
+        let idx = (seq - 1) as usize;
+        for &(col, val) in columns {
+            self.data[col].set(idx, val);
+        }
+        self.base_rid.set(idx, base.0);
+        self.schema_enc.set(idx, encoding.0);
+        self.indirection.set(idx, prev.0);
+        self.start_time.set(idx, start_cell);
+    }
+
+    /// Back-pointer of record `seq`.
+    #[inline]
+    pub fn prev(&self, seq: u32) -> Rid {
+        Rid(self.indirection.get((seq - 1) as usize))
+    }
+
+    /// Schema Encoding of record `seq`.
+    #[inline]
+    pub fn encoding(&self, seq: u32) -> SchemaEncoding {
+        SchemaEncoding(self.schema_enc.get((seq - 1) as usize))
+    }
+
+    /// Raw Start Time cell of record `seq` (may be a transaction id).
+    #[inline]
+    pub fn start_cell(&self, seq: u32) -> u64 {
+        self.start_time.get((seq - 1) as usize)
+    }
+
+    /// Lazily swap a Start Time cell from a transaction id to its commit
+    /// timestamp ("Swapping the transaction ID with commit time is done
+    /// lazily by future readers", §5.1.1).
+    #[inline]
+    pub fn swap_start_cell(&self, seq: u32, txn_id: u64, commit_ts: u64) {
+        let _ = self.start_time.cas((seq - 1) as usize, txn_id, commit_ts);
+    }
+
+    /// Base RID of record `seq`.
+    #[inline]
+    pub fn base_rid(&self, seq: u32) -> Rid {
+        Rid(self.base_rid.get((seq - 1) as usize))
+    }
+
+    /// Explicit value of `column` in record `seq`; ∅ when not materialized.
+    #[inline]
+    pub fn value(&self, seq: u32, column: usize) -> u64 {
+        self.data[column].get_or_null((seq - 1) as usize)
+    }
+
+    /// Number of data columns whose tail pages have been materialized.
+    pub fn materialized_columns(&self) -> usize {
+        self.data.iter().filter(|c| c.page_count() > 0).count()
+    }
+
+    /// Total allocated tail pages across all columns (meta + data).
+    pub fn allocated_pages(&self) -> usize {
+        self.indirection.page_count()
+            + self.schema_enc.page_count()
+            + self.start_time.page_count()
+            + self.base_rid.page_count()
+            + self.data.iter().map(|c| c.page_count()).sum::<usize>()
+    }
+
+    /// Release whole tail pages whose records all have `seq < below_seq`;
+    /// called after historic compression (§4.3). Returns pages released.
+    pub fn release_below(&self, below_seq: u32) -> usize {
+        if below_seq <= 1 {
+            return 0;
+        }
+        let below_idx = (below_seq - 1) as usize;
+        let mut released = 0;
+        released += self.indirection.release_pages_below(below_idx);
+        released += self.schema_enc.release_pages_below(below_idx);
+        released += self.start_time.release_pages_below(below_idx);
+        released += self.base_rid.release_pages_below(below_idx);
+        for c in self.data.iter() {
+            released += c.release_pages_below(below_idx);
+        }
+        released
+    }
+
+    /// True when record `seq` was fully written (its start cell is set);
+    /// used by recovery scans.
+    pub fn is_written(&self, seq: u32) -> bool {
+        self.start_time.get_or_null((seq - 1) as usize) != NULL_VALUE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lazy_column_materialization() {
+        let seg = TailSegment::new(0, 4, 16);
+        assert_eq!(seg.materialized_columns(), 0);
+        let seq = seg.allocate_seq();
+        assert_eq!(seq, 1);
+        seg.write_record(
+            seq,
+            Rid::base(0, 5),
+            SchemaEncoding::from_columns([1]),
+            Rid::base(0, 5),
+            &[(1, 42)],
+            77,
+        );
+        // Only column 1 materialized; others read ∅.
+        assert_eq!(seg.materialized_columns(), 1);
+        assert_eq!(seg.value(seq, 1), 42);
+        assert_eq!(seg.value(seq, 0), NULL_VALUE);
+        assert_eq!(seg.value(seq, 3), NULL_VALUE);
+        assert_eq!(seg.prev(seq), Rid::base(0, 5));
+        assert_eq!(seg.start_cell(seq), 77);
+        assert!(seg.is_written(seq));
+        assert!(!seg.is_written(seg.allocate_seq()));
+    }
+
+    #[test]
+    fn seq_allocation_is_dense_and_concurrent() {
+        use std::sync::Arc;
+        let seg = Arc::new(TailSegment::new(0, 1, 64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let seg = Arc::clone(&seg);
+                std::thread::spawn(move || (0..1000).map(|_| seg.allocate_seq()).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut seqs: Vec<u32> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (1..=4000).collect::<Vec<u32>>());
+        assert_eq!(seg.high_seq(), 4000);
+    }
+
+    #[test]
+    fn lazy_start_time_swap() {
+        let seg = TailSegment::new(0, 1, 16);
+        let seq = seg.allocate_seq();
+        let txn_id = (1 << 63) | 5u64;
+        seg.write_record(seq, Rid::NULL, SchemaEncoding::empty(), Rid::NULL, &[], txn_id);
+        seg.swap_start_cell(seq, txn_id, 1234);
+        assert_eq!(seg.start_cell(seq), 1234);
+        // Idempotent / no-op when the cell already holds the timestamp.
+        seg.swap_start_cell(seq, txn_id, 9999);
+        assert_eq!(seg.start_cell(seq), 1234);
+    }
+
+    #[test]
+    fn release_below_frees_full_pages() {
+        let seg = TailSegment::new(0, 1, 4);
+        for _ in 0..12 {
+            let s = seg.allocate_seq();
+            seg.write_record(s, Rid::NULL, SchemaEncoding::from_columns([0]), Rid::NULL, &[(0, s as u64)], s as u64);
+        }
+        let released = seg.release_below(9); // records 1..8 span two full pages
+        assert!(released >= 2);
+        assert_eq!(seg.value(9, 0), 9);
+    }
+}

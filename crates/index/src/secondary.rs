@@ -1,0 +1,186 @@
+//! Secondary index: column value → base RIDs, with deferred removal.
+//!
+//! From §3.1: after modifying record `b2`'s column C from `c2` to `c21`, "we
+//! add the new entry (c21, b2) to the index on the column C. … Optionally
+//! the old value (c2, b2) could be removed from the index; however, its
+//! removal may affect those queries that are using indexes to compute
+//! answers under snapshot semantics. Therefore, we advocate deferring the
+//! removal of changed values from indexes until the changed entries fall
+//! outside the snapshot of all relevant active queries."
+//!
+//! [`SecondaryIndex::remove_deferred`] queues a removal stamped with the
+//! timestamp at which the value was superseded; [`SecondaryIndex::gc`]
+//! applies removals older than the oldest active snapshot. Lookups may thus
+//! return stale base RIDs — by design: the reader re-evaluates the predicate
+//! on the visible version.
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// An ordered multimap index with snapshot-safe deferred removal.
+#[derive(Debug, Default)]
+pub struct SecondaryIndex {
+    map: RwLock<BTreeMap<u64, Vec<u64>>>,
+    /// (superseded_at_ts, value, rid) pending physical removal.
+    pending: Mutex<Vec<(u64, u64, u64)>>,
+}
+
+impl SecondaryIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an entry `(value, base_rid)`.
+    pub fn insert(&self, value: u64, rid: u64) {
+        let mut map = self.map.write();
+        let rids = map.entry(value).or_default();
+        if !rids.contains(&rid) {
+            rids.push(rid);
+        }
+    }
+
+    /// All base RIDs currently indexed under `value` (possibly stale —
+    /// callers must re-evaluate the predicate on the visible version).
+    pub fn get(&self, value: u64) -> Vec<u64> {
+        self.map.read().get(&value).cloned().unwrap_or_default()
+    }
+
+    /// Base RIDs for values in `[lo, hi]`, with possible duplicates when a
+    /// record's old and new values both fall in range (again: re-evaluate).
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let map = self.map.read();
+        let mut out = Vec::new();
+        for (&v, rids) in map.range((Bound::Included(lo), Bound::Included(hi))) {
+            for &r in rids {
+                out.push((v, r));
+            }
+        }
+        out
+    }
+
+    /// Queue removal of `(value, rid)`, superseded at `ts`. The entry stays
+    /// visible until [`Self::gc`] is called with a horizon past `ts`.
+    pub fn remove_deferred(&self, value: u64, rid: u64, ts: u64) {
+        self.pending.lock().push((ts, value, rid));
+    }
+
+    /// Physically remove queued entries whose supersession timestamp is older
+    /// than `oldest_snapshot`. Returns how many entries were removed.
+    pub fn gc(&self, oldest_snapshot: u64) -> usize {
+        let mut pending = self.pending.lock();
+        let mut keep = Vec::with_capacity(pending.len());
+        let mut to_remove = Vec::new();
+        for entry in pending.drain(..) {
+            if entry.0 < oldest_snapshot {
+                to_remove.push(entry);
+            } else {
+                keep.push(entry);
+            }
+        }
+        *pending = keep;
+        drop(pending);
+
+        if to_remove.is_empty() {
+            return 0;
+        }
+        let mut map = self.map.write();
+        let mut removed = 0;
+        for (_, value, rid) in to_remove {
+            if let Some(rids) = map.get_mut(&value) {
+                if let Some(pos) = rids.iter().position(|&r| r == rid) {
+                    rids.swap_remove(pos);
+                    removed += 1;
+                }
+                if rids.is_empty() {
+                    map.remove(&value);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Number of distinct values indexed.
+    pub fn distinct_values(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Total `(value, rid)` entries.
+    pub fn len(&self) -> usize {
+        self.map.read().values().map(Vec::len).sum()
+    }
+
+    /// True when the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let idx = SecondaryIndex::new();
+        idx.insert(5, 100);
+        idx.insert(5, 101);
+        idx.insert(7, 100);
+        let mut rids = idx.get(5);
+        rids.sort_unstable();
+        assert_eq!(rids, vec![100, 101]);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_entries_collapse() {
+        let idx = SecondaryIndex::new();
+        idx.insert(5, 100);
+        idx.insert(5, 100);
+        assert_eq!(idx.get(5), vec![100]);
+    }
+
+    #[test]
+    fn range_scan_returns_both_old_and_new() {
+        // Paper's example: record b2 updated from c2 to c21 — both entries
+        // remain until gc; the reader filters by predicate re-evaluation.
+        let idx = SecondaryIndex::new();
+        idx.insert(2, 42); // old value c2
+        idx.insert(21, 42); // new value c21
+        let hits = idx.range(0, 100);
+        assert_eq!(hits, vec![(2, 42), (21, 42)]);
+    }
+
+    #[test]
+    fn deferred_removal_respects_snapshots() {
+        let idx = SecondaryIndex::new();
+        idx.insert(2, 42);
+        idx.insert(21, 42);
+        idx.remove_deferred(2, 42, 50); // superseded at ts=50
+
+        // A query with snapshot 40 (< 50) is still active: no removal.
+        assert_eq!(idx.gc(40), 0);
+        assert_eq!(idx.get(2), vec![42]);
+
+        // All snapshots ≤ 50 drained: removal applies.
+        assert_eq!(idx.gc(60), 1);
+        assert!(idx.get(2).is_empty());
+        assert_eq!(idx.get(21), vec![42]);
+        assert_eq!(idx.distinct_values(), 1);
+    }
+
+    #[test]
+    fn gc_keeps_still_guarded_entries_queued() {
+        let idx = SecondaryIndex::new();
+        idx.insert(1, 10);
+        idx.insert(2, 10);
+        idx.remove_deferred(1, 10, 30);
+        idx.remove_deferred(2, 10, 70);
+        assert_eq!(idx.gc(50), 1); // only the ts=30 removal applies
+        assert!(idx.get(1).is_empty());
+        assert_eq!(idx.get(2), vec![10]);
+        assert_eq!(idx.gc(100), 1); // the ts=70 removal applies later
+        assert!(idx.get(2).is_empty());
+    }
+}

@@ -1,0 +1,124 @@
+//! Fixed-width bit-packing of `u64` values.
+//!
+//! The building block shared by the dictionary and frame-of-reference codecs:
+//! `n` logical values are stored in `ceil(n * width / 64)` machine words with
+//! O(1) random access.
+
+/// A bit-packed array of fixed-width unsigned integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitPacked {
+    words: Box<[u64]>,
+    width: u8,
+    len: usize,
+}
+
+impl BitPacked {
+    /// Minimum bit width able to represent `max` (at least 1).
+    pub fn width_for(max: u64) -> u8 {
+        (64 - max.leading_zeros()).max(1) as u8
+    }
+
+    /// Pack `values` with `width` bits each. Values must fit in `width` bits.
+    pub fn pack(values: &[u64], width: u8) -> Self {
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        let total_bits = values.len() * width as usize;
+        let mut words = vec![0u64; total_bits.div_ceil(64)];
+        for (i, &v) in values.iter().enumerate() {
+            debug_assert!(width == 64 || v < (1u64 << width), "value exceeds width");
+            let bit = i * width as usize;
+            let word = bit / 64;
+            let off = bit % 64;
+            words[word] |= v << off;
+            let spill = off + width as usize;
+            if spill > 64 {
+                words[word + 1] |= v >> (64 - off);
+            }
+        }
+        BitPacked {
+            words: words.into_boxed_slice(),
+            width,
+            len: values.len(),
+        }
+    }
+
+    /// Number of logical values stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit width per value.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Random access to value `idx`. Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, idx: usize) -> u64 {
+        assert!(idx < self.len, "bitpack index {idx} out of bounds {}", self.len);
+        let width = self.width as usize;
+        let bit = idx * width;
+        let word = bit / 64;
+        let off = bit % 64;
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let lo = self.words[word] >> off;
+        if off + width <= 64 {
+            lo & mask
+        } else {
+            let hi = self.words[word + 1] << (64 - off);
+            (lo | hi) & mask
+        }
+    }
+
+    /// Heap bytes used by the packed words.
+    pub fn encoded_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_widths() {
+        for width in [1u8, 3, 7, 8, 13, 31, 33, 63, 64] {
+            let max = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let values: Vec<u64> = (0..257u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9).wrapping_add(7) & max)
+                .collect();
+            let packed = BitPacked::pack(&values, width);
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(packed.get(i), v, "width {width} idx {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn width_for_edges() {
+        assert_eq!(BitPacked::width_for(0), 1);
+        assert_eq!(BitPacked::width_for(1), 1);
+        assert_eq!(BitPacked::width_for(2), 2);
+        assert_eq!(BitPacked::width_for(255), 8);
+        assert_eq!(BitPacked::width_for(256), 9);
+        assert_eq!(BitPacked::width_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn packs_compactly() {
+        let values = vec![1u64; 64];
+        let packed = BitPacked::pack(&values, 1);
+        assert_eq!(packed.encoded_bytes(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let packed = BitPacked::pack(&[1, 2, 3], 2);
+        packed.get(3);
+    }
+}

@@ -1,0 +1,112 @@
+//! Run-length encoding with binary-search random access.
+//!
+//! Suited to sorted or near-constant columns (e.g. the Start Time column of a
+//! freshly loaded range, or the Schema Encoding column where most records are
+//! untouched). Runs store their *starting logical index* so `get` is a
+//! partition-point search over the run boundaries.
+
+/// A run-length encoded read-only column.
+#[derive(Debug, Clone)]
+pub struct RleColumn {
+    /// Logical start index of each run (strictly increasing, starts at 0).
+    starts: Box<[u32]>,
+    /// The value of each run.
+    values: Box<[u64]>,
+    len: usize,
+}
+
+impl RleColumn {
+    /// Encode `values` into runs. Columns longer than `u32::MAX` are not
+    /// supported (pages are far smaller).
+    pub fn encode(values: &[u64]) -> Self {
+        assert!(values.len() <= u32::MAX as usize, "column too long for RLE");
+        let mut starts = Vec::new();
+        let mut vals = Vec::new();
+        let mut i = 0usize;
+        while i < values.len() {
+            let v = values[i];
+            starts.push(i as u32);
+            vals.push(v);
+            let mut j = i + 1;
+            while j < values.len() && values[j] == v {
+                j += 1;
+            }
+            i = j;
+        }
+        RleColumn {
+            starts: starts.into_boxed_slice(),
+            values: vals.into_boxed_slice(),
+            len: values.len(),
+        }
+    }
+
+    /// Number of logical values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Random access decode of value `idx` (O(log runs)).
+    #[inline]
+    pub fn get(&self, idx: usize) -> u64 {
+        assert!(idx < self.len, "rle index {idx} out of bounds {}", self.len);
+        let run = self.starts.partition_point(|&s| s as usize <= idx) - 1;
+        self.values[run]
+    }
+
+    /// Heap bytes used by run starts plus values.
+    pub fn encoded_bytes(&self) -> usize {
+        self.starts.len() * 4 + self.values.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_runs() {
+        let mut values = Vec::new();
+        for run in 0..50u64 {
+            for _ in 0..(run % 9 + 1) {
+                values.push(run * run);
+            }
+        }
+        let c = RleColumn::encode(&values);
+        assert_eq!(c.run_count(), 50);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(c.get(i), v);
+        }
+    }
+
+    #[test]
+    fn constant_column_is_one_run() {
+        let c = RleColumn::encode(&[5; 100_000]);
+        assert_eq!(c.run_count(), 1);
+        assert_eq!(c.get(99_999), 5);
+        assert_eq!(c.encoded_bytes(), 12);
+    }
+
+    #[test]
+    fn alternating_column_degenerates() {
+        let values: Vec<u64> = (0..100).map(|i| i % 2).collect();
+        let c = RleColumn::encode(&values);
+        assert_eq!(c.run_count(), 100);
+        assert_eq!(c.decode_all(), values);
+    }
+
+    impl RleColumn {
+        fn decode_all(&self) -> Vec<u64> {
+            (0..self.len()).map(|i| self.get(i)).collect()
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! On-disk page images.
+//!
+//! The paper stresses that base and tail pages are "persisted identically"
+//! (§2.1): at this layer there is no difference between page kinds, only a
+//! column of `u64` cells (possibly compressed). This module defines a small
+//! self-describing binary format for page images and a [`PageFile`] that
+//! stores many images with an in-file index.
+//!
+//! Format of one image:
+//! ```text
+//! magic "LSPG" | u8 codec | u64 len | codec-specific payload
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::compress::{BitPacked, Compressed, DictColumn, ForColumn, RleColumn};
+use crate::error::{StorageError, StorageResult};
+use crate::page::BasePage;
+
+const MAGIC: &[u8; 4] = b"LSPG";
+
+const CODEC_PLAIN: u8 = 0;
+const CODEC_DICT: u8 = 1;
+const CODEC_RLE: u8 = 2;
+const CODEC_FOR: u8 = 3;
+
+/// Serialize a compressed column into a self-describing byte image.
+pub fn encode_image(col: &Compressed) -> Bytes {
+    let mut buf = BytesMut::with_capacity(col.encoded_bytes() + 64);
+    buf.put_slice(MAGIC);
+    match col {
+        Compressed::Plain(v) => {
+            buf.put_u8(CODEC_PLAIN);
+            buf.put_u64(v.len() as u64);
+            for &x in v.iter() {
+                buf.put_u64(x);
+            }
+        }
+        Compressed::Dict(_) | Compressed::Rle(_) | Compressed::For(_) => {
+            // Re-encode through decode: codecs are deterministic, and this
+            // keeps the wire format independent of in-memory layout details.
+            let values = col.decode();
+            match col {
+                Compressed::Dict(_) => {
+                    buf.put_u8(CODEC_DICT);
+                    buf.put_u64(values.len() as u64);
+                    put_values(&mut buf, &values);
+                }
+                Compressed::Rle(_) => {
+                    buf.put_u8(CODEC_RLE);
+                    buf.put_u64(values.len() as u64);
+                    put_values(&mut buf, &values);
+                }
+                Compressed::For(_) => {
+                    buf.put_u8(CODEC_FOR);
+                    buf.put_u64(values.len() as u64);
+                    put_values(&mut buf, &values);
+                }
+                Compressed::Plain(_) => unreachable!(),
+            }
+        }
+    }
+    buf.freeze()
+}
+
+fn put_values(buf: &mut BytesMut, values: &[u64]) {
+    for &x in values {
+        buf.put_u64(x);
+    }
+}
+
+/// Deserialize a page image produced by [`encode_image`].
+pub fn decode_image(mut data: &[u8]) -> StorageResult<Compressed> {
+    if data.len() < 13 || &data[..4] != MAGIC {
+        return Err(StorageError::Corrupt("bad magic".into()));
+    }
+    data.advance(4);
+    let codec = data.get_u8();
+    let len = data.get_u64() as usize;
+    if data.remaining() < len * 8 {
+        return Err(StorageError::Corrupt(format!(
+            "truncated payload: want {} cells, have {} bytes",
+            len,
+            data.remaining()
+        )));
+    }
+    let mut values = Vec::with_capacity(len);
+    for _ in 0..len {
+        values.push(data.get_u64());
+    }
+    Ok(match codec {
+        CODEC_PLAIN => Compressed::Plain(values.into_boxed_slice()),
+        CODEC_DICT => Compressed::Dict(DictColumn::encode(&values)),
+        CODEC_RLE => Compressed::Rle(RleColumn::encode(&values)),
+        CODEC_FOR => Compressed::For(ForColumn::encode(&values)),
+        other => return Err(StorageError::Corrupt(format!("unknown codec {other}"))),
+    })
+}
+
+/// A file of page images with a trailing index, append-only while open.
+///
+/// Layout: `[image]* | index (u64 count, count * (u64 id, u64 offset, u64
+/// len)) | u64 index_offset | magic`.
+pub struct PageFile {
+    writer: BufWriter<File>,
+    index: Vec<(u64, u64, u64)>,
+    offset: u64,
+}
+
+impl PageFile {
+    /// Create (truncate) a page file at `path`.
+    pub fn create(path: &Path) -> StorageResult<Self> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(PageFile {
+            writer: BufWriter::new(file),
+            index: Vec::new(),
+            offset: 0,
+        })
+    }
+
+    /// Append the image of `page` under logical `id`.
+    pub fn append(&mut self, id: u64, page: &BasePage) -> StorageResult<()> {
+        let image = encode_image(page.compressed());
+        self.writer.write_all(&image)?;
+        self.index.push((id, self.offset, image.len() as u64));
+        self.offset += image.len() as u64;
+        Ok(())
+    }
+
+    /// Write the index and footer, flush, and sync to disk.
+    pub fn finish(mut self) -> StorageResult<()> {
+        let index_offset = self.offset;
+        let mut buf = BytesMut::new();
+        buf.put_u64(self.index.len() as u64);
+        for (id, off, len) in &self.index {
+            buf.put_u64(*id);
+            buf.put_u64(*off);
+            buf.put_u64(*len);
+        }
+        buf.put_u64(index_offset);
+        buf.put_slice(MAGIC);
+        self.writer.write_all(&buf)?;
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()?;
+        Ok(())
+    }
+}
+
+/// Read back every page image from a file produced by [`PageFile`].
+pub fn load_page_file(path: &Path) -> StorageResult<Vec<(u64, BasePage)>> {
+    let mut reader = BufReader::new(File::open(path)?);
+    let file_len = reader.seek(SeekFrom::End(0))?;
+    if file_len < 12 {
+        return Err(StorageError::Corrupt("file too short".into()));
+    }
+    reader.seek(SeekFrom::End(-12))?;
+    let mut footer = [0u8; 12];
+    reader.read_exact(&mut footer)?;
+    if &footer[8..] != MAGIC {
+        return Err(StorageError::Corrupt("bad footer magic".into()));
+    }
+    let index_offset = u64::from_be_bytes(footer[..8].try_into().unwrap());
+    reader.seek(SeekFrom::Start(index_offset))?;
+    let mut count_buf = [0u8; 8];
+    reader.read_exact(&mut count_buf)?;
+    let count = u64::from_be_bytes(count_buf) as usize;
+    let mut index = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut entry = [0u8; 24];
+        reader.read_exact(&mut entry)?;
+        let id = u64::from_be_bytes(entry[..8].try_into().unwrap());
+        let off = u64::from_be_bytes(entry[8..16].try_into().unwrap());
+        let len = u64::from_be_bytes(entry[16..].try_into().unwrap());
+        index.push((id, off, len));
+    }
+    let mut pages = Vec::with_capacity(count);
+    for (id, off, len) in index {
+        reader.seek(SeekFrom::Start(off))?;
+        let mut data = vec![0u8; len as usize];
+        reader.read_exact(&mut data)?;
+        let col = decode_image(&data)?;
+        pages.push((id, BasePage::from_compressed(col)));
+    }
+    Ok(pages)
+}
+
+impl BasePage {
+    /// Rebuild a page directly from a decoded compressed column.
+    pub fn from_compressed(col: Compressed) -> Self {
+        // BasePage is a thin wrapper; re-encode plainly via decode to keep
+        // construction simple and deterministic.
+        match col {
+            Compressed::Plain(v) => BasePage::plain(v.into_vec()),
+            other => BasePage::from_values(&other.decode(), crate::compress::CodecChoice::Auto),
+        }
+    }
+}
+
+/// Mark a type as unused BitPacked import guard (keeps codec internals open
+/// for future zero-copy image formats).
+#[allow(dead_code)]
+fn _bitpack_reexport_guard(_: &BitPacked) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::CodecChoice;
+
+    #[test]
+    fn image_roundtrip_all_codecs() {
+        let values: Vec<u64> = (0..1000).map(|i| i % 5 + 100).collect();
+        for choice in [
+            CodecChoice::None,
+            CodecChoice::Dictionary,
+            CodecChoice::Rle,
+            CodecChoice::ForPack,
+        ] {
+            let col = crate::compress::encode(&values, choice);
+            let image = encode_image(&col);
+            let back = decode_image(&image).unwrap();
+            assert_eq!(back.decode(), values, "{choice:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_images_rejected() {
+        assert!(decode_image(b"nope").is_err());
+        assert!(decode_image(b"LSPG\x09\0\0\0\0\0\0\0\x01").is_err());
+        // Truncated payload.
+        let col = Compressed::Plain(vec![1u64, 2, 3].into_boxed_slice());
+        let image = encode_image(&col);
+        assert!(decode_image(&image[..image.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn page_file_roundtrip() {
+        let dir = std::env::temp_dir().join("lstore-storage-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("pages-{}.lsp", std::process::id()));
+
+        let pages: Vec<BasePage> = (0..5)
+            .map(|p| {
+                let values: Vec<u64> = (0..256).map(|i| p * 1000 + i % 11).collect();
+                BasePage::from_values(&values, CodecChoice::Auto)
+            })
+            .collect();
+        let mut f = PageFile::create(&path).unwrap();
+        for (i, p) in pages.iter().enumerate() {
+            f.append(i as u64, p).unwrap();
+        }
+        f.finish().unwrap();
+
+        let loaded = load_page_file(&path).unwrap();
+        assert_eq!(loaded.len(), 5);
+        for ((id, page), orig) in loaded.iter().zip(&pages) {
+            assert_eq!(page.decode(), orig.decode(), "page {id}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

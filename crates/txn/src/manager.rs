@@ -1,0 +1,263 @@
+//! The transaction manager's state table.
+//!
+//! "The transaction manager also maintains the state of each transaction and
+//! its begin/commit time in a hashtable. Each transaction has four states:
+//! active, pre-commit, committed, and aborted" (§5.1.1). The table is
+//! sharded to keep registration and state transitions off any global lock;
+//! readers consult it to decide visibility of versions whose Start Time cell
+//! still holds a transaction id.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{GlobalClock, TXN_ID_FLAG};
+
+const SHARDS: usize = 64;
+
+/// Lifecycle states of a transaction (§5.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// Executing reads and writes.
+    Active,
+    /// Finished its operations, validating reads; its writes are visible to
+    /// *speculative* readers only.
+    PreCommit,
+    /// Durably committed; writes visible to all readers per begin time.
+    Committed,
+    /// Rolled back; its tail records are tombstones skipped by readers.
+    Aborted,
+}
+
+/// Per-transaction bookkeeping held in the manager's table.
+#[derive(Debug, Clone, Copy)]
+pub struct TxnInfo {
+    /// Current lifecycle state.
+    pub status: TxnStatus,
+    /// Begin timestamp from the global clock.
+    pub begin: u64,
+    /// Commit timestamp (0 until the transaction enters pre-commit).
+    pub commit: u64,
+}
+
+/// Sharded transaction state table.
+#[derive(Debug)]
+pub struct TxnManager {
+    shards: Vec<RwLock<HashMap<u64, TxnInfo>>>,
+    next_id: AtomicU64,
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxnManager {
+    /// Create an empty manager.
+    pub fn new() -> Self {
+        TxnManager {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, txn_id: u64) -> &RwLock<HashMap<u64, TxnInfo>> {
+        &self.shards[(txn_id & !TXN_ID_FLAG) as usize % SHARDS]
+    }
+
+    /// Register a new transaction: draws a begin time from `clock`, assigns a
+    /// "unique monotonically increasing transaction ID" and records it as
+    /// active. Returns `(txn_id, begin_ts)`.
+    pub fn begin(&self, clock: &GlobalClock) -> (u64, u64) {
+        let begin = clock.tick();
+        let id = TXN_ID_FLAG | self.next_id.fetch_add(1, Ordering::AcqRel);
+        self.shard(id).write().insert(
+            id,
+            TxnInfo {
+                status: TxnStatus::Active,
+                begin,
+                commit: 0,
+            },
+        );
+        (id, begin)
+    }
+
+    /// Look up a transaction's info.
+    pub fn get(&self, txn_id: u64) -> Option<TxnInfo> {
+        self.shard(txn_id).read().get(&txn_id).copied()
+    }
+
+    /// Atomically move an active transaction to pre-commit, stamping its
+    /// commit time ("both changes are reflected atomically in the
+    /// transaction manager's hashtable"). Returns the commit timestamp.
+    pub fn pre_commit(&self, txn_id: u64, clock: &GlobalClock) -> u64 {
+        let commit = clock.tick();
+        let mut shard = self.shard(txn_id).write();
+        let info = shard.get_mut(&txn_id).expect("unknown transaction");
+        debug_assert_eq!(info.status, TxnStatus::Active);
+        info.status = TxnStatus::PreCommit;
+        info.commit = commit;
+        commit
+    }
+
+    /// Finalize a pre-committed transaction as committed.
+    pub fn commit(&self, txn_id: u64) {
+        let mut shard = self.shard(txn_id).write();
+        let info = shard.get_mut(&txn_id).expect("unknown transaction");
+        debug_assert_eq!(info.status, TxnStatus::PreCommit);
+        info.status = TxnStatus::Committed;
+    }
+
+    /// Mark a transaction aborted (valid from active or pre-commit).
+    pub fn abort(&self, txn_id: u64) {
+        let mut shard = self.shard(txn_id).write();
+        let info = shard.get_mut(&txn_id).expect("unknown transaction");
+        info.status = TxnStatus::Aborted;
+    }
+
+    /// Resolve a Start Time cell possibly holding a transaction id into a
+    /// visibility decision for a reader:
+    ///
+    /// * `Some(commit_ts)` — the version is committed with that timestamp
+    ///   (either the cell already held a timestamp, or the owning transaction
+    ///   committed and the caller may lazily swap the cell).
+    /// * `None` — the version is uncommitted or aborted and must be skipped
+    ///   by normal readers.
+    ///
+    /// `speculative` additionally accepts versions written by *pre-commit*
+    /// transactions, returning their tentative commit time (§5.1.1
+    /// speculative-read).
+    pub fn resolve_start_time(&self, start: u64, speculative: bool) -> Option<u64> {
+        if !crate::is_txn_id(start) {
+            return Some(start);
+        }
+        let info = self.get(start)?;
+        match info.status {
+            TxnStatus::Committed => Some(info.commit),
+            TxnStatus::PreCommit if speculative => Some(info.commit),
+            _ => None,
+        }
+    }
+
+    /// A writer's own versions are always visible to itself; callers pass the
+    /// reading transaction's id here to short-circuit.
+    pub fn is_own_write(reading_txn: u64, start_cell: u64) -> bool {
+        crate::is_txn_id(start_cell) && start_cell == reading_txn
+    }
+
+    /// Number of transactions currently tracked (all states).
+    pub fn tracked(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Drop entries of committed/aborted transactions whose commit time is
+    /// older than `horizon`; the Start Time cells referencing them must have
+    /// been lazily swapped first (the caller guarantees this, e.g. after a
+    /// merge pass). Keeps the table bounded on long runs.
+    pub fn gc(&self, horizon: u64) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut map = shard.write();
+            let before = map.len();
+            map.retain(|_, info| match info.status {
+                TxnStatus::Committed => info.commit >= horizon,
+                TxnStatus::Aborted => false,
+                _ => true,
+            });
+            removed += before - map.len();
+        }
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_active_precommit_commit() {
+        let clock = GlobalClock::new();
+        let mgr = TxnManager::new();
+        let (id, begin) = mgr.begin(&clock);
+        assert!(crate::is_txn_id(id));
+        assert_eq!(mgr.get(id).unwrap().status, TxnStatus::Active);
+
+        let commit = mgr.pre_commit(id, &clock);
+        assert!(commit > begin);
+        assert_eq!(mgr.get(id).unwrap().status, TxnStatus::PreCommit);
+
+        mgr.commit(id);
+        assert_eq!(mgr.get(id).unwrap().status, TxnStatus::Committed);
+    }
+
+    #[test]
+    fn resolve_start_time_visibility() {
+        let clock = GlobalClock::new();
+        let mgr = TxnManager::new();
+        let (id, _) = mgr.begin(&clock);
+
+        // Plain timestamps resolve to themselves.
+        assert_eq!(mgr.resolve_start_time(42, false), Some(42));
+        // Active transactions are invisible, even speculatively.
+        assert_eq!(mgr.resolve_start_time(id, false), None);
+        assert_eq!(mgr.resolve_start_time(id, true), None);
+
+        let commit = mgr.pre_commit(id, &clock);
+        // Pre-commit: visible only to speculative readers.
+        assert_eq!(mgr.resolve_start_time(id, false), None);
+        assert_eq!(mgr.resolve_start_time(id, true), Some(commit));
+
+        mgr.commit(id);
+        assert_eq!(mgr.resolve_start_time(id, false), Some(commit));
+    }
+
+    #[test]
+    fn aborted_versions_are_invisible() {
+        let clock = GlobalClock::new();
+        let mgr = TxnManager::new();
+        let (id, _) = mgr.begin(&clock);
+        mgr.abort(id);
+        assert_eq!(mgr.resolve_start_time(id, false), None);
+        assert_eq!(mgr.resolve_start_time(id, true), None);
+    }
+
+    #[test]
+    fn gc_drops_finished_transactions() {
+        let clock = GlobalClock::new();
+        let mgr = TxnManager::new();
+        let (a, _) = mgr.begin(&clock);
+        let (b, _) = mgr.begin(&clock);
+        let (c, _) = mgr.begin(&clock);
+        mgr.pre_commit(a, &clock);
+        mgr.commit(a);
+        mgr.abort(b);
+        // c stays active.
+        let removed = mgr.gc(u64::MAX & !TXN_ID_FLAG);
+        assert_eq!(removed, 2);
+        assert!(mgr.get(c).is_some());
+        assert_eq!(mgr.tracked(), 1);
+    }
+
+    #[test]
+    fn ids_are_unique_across_threads() {
+        use std::sync::Arc;
+        let clock = Arc::new(GlobalClock::new());
+        let mgr = Arc::new(TxnManager::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let clock = Arc::clone(&clock);
+                let mgr = Arc::clone(&mgr);
+                std::thread::spawn(move || {
+                    (0..1000).map(|_| mgr.begin(&clock).0).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+}

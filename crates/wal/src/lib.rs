@@ -1,0 +1,64 @@
+//! # lstore-wal
+//!
+//! Logging and recovery substrate for L-Store (§5.1.3, §5.2).
+//!
+//! The lineage-based architecture makes logging unusually cheap:
+//!
+//! * Base pages are read-only → **no logging at all** for them.
+//! * Tail pages are append-only and never updated in place → **redo-only**
+//!   logging; "since we eliminate any in-place update for tail pages, no
+//!   undo log is required". Aborted transactions leave tombstones.
+//! * The merge is **idempotent** (it operates strictly on committed data and
+//!   re-running it reproduces the same pages) → operational logging only.
+//! * The Indirection column is rebuilt at recovery from the Base RID column
+//!   of tail records (§5.1.3 recovery option 2), so even it needs no undo.
+//!
+//! Modules:
+//! * [`record`] — the binary log record format (redo, commit/abort,
+//!   operational merge records, checkpoints).
+//! * [`writer`] — append-only log writer with LSN assignment and group
+//!   commit.
+//! * [`recovery`] — log scan + replay driver.
+//! * [`ownership`] — the §5.2 Ownership-Relaying (OR) protocol for
+//!   maintaining `pageLSN` under many concurrent writers with mostly shared
+//!   latches.
+
+pub mod ownership;
+pub mod record;
+pub mod recovery;
+pub mod writer;
+
+pub use ownership::{OrPage, OrOutcome};
+pub use record::LogRecord;
+pub use recovery::{recover, RecoveredState};
+pub use writer::{Wal, WalConfig};
+
+/// Errors surfaced by the WAL.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A log record failed to decode (torn tail records are tolerated and
+    /// reported separately by recovery).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::Corrupt(m) => write!(f, "corrupt log record: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// Result alias for WAL operations.
+pub type WalResult<T> = Result<T, WalError>;

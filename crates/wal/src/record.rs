@@ -1,0 +1,377 @@
+//! Binary log record format.
+//!
+//! Records are length-prefixed and checksummed so recovery can detect a torn
+//! write at the log tail and stop cleanly:
+//!
+//! ```text
+//! u32 len | u32 checksum | u8 tag | payload
+//! ```
+//!
+//! The checksum is a simple FNV-1a over the tag+payload — adequate for
+//! detecting torn writes (the failure mode that matters for an append-only
+//! log), not for adversarial corruption.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{WalError, WalResult};
+
+/// All record kinds written to the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// Redo record for one tail-record append: everything needed to replay
+    /// the append into the range's tail pages. Undo is never needed
+    /// (append-only, §5.1.3).
+    TailAppend {
+        /// Table the append belongs to.
+        table_id: u32,
+        /// Update range within the table.
+        range_id: u32,
+        /// Tail sequence number within the range (slot in tail pages).
+        seq: u32,
+        /// Transaction that performed the append.
+        txn_id: u64,
+        /// Base RID of the updated record.
+        base_rid: u64,
+        /// Back-pointer stored in the tail record's Indirection column.
+        prev_rid: u64,
+        /// Schema-encoding cell (bitmap + flags).
+        schema_encoding: u64,
+        /// Explicit column values `(column_index, value)`.
+        columns: Vec<(u16, u64)>,
+    },
+    /// Redo record for an insert into table-level tail pages (§3.2).
+    Insert {
+        /// Table the insert belongs to.
+        table_id: u32,
+        /// Insert-range id.
+        range_id: u32,
+        /// Slot within the insert range.
+        slot: u32,
+        /// Inserting transaction.
+        txn_id: u64,
+        /// Full record values, one per data column.
+        values: Vec<u64>,
+    },
+    /// Transaction commit, with its commit timestamp.
+    Commit {
+        /// Committing transaction.
+        txn_id: u64,
+        /// Commit timestamp from the global clock.
+        commit_ts: u64,
+    },
+    /// Transaction abort (its appends become tombstones).
+    Abort {
+        /// Aborting transaction.
+        txn_id: u64,
+    },
+    /// Operational record: a merge consolidated `range_id` up to `tps`.
+    /// Idempotent — replay just re-runs the merge (§5.1.3).
+    MergeCompleted {
+        /// Table the merge belongs to.
+        table_id: u32,
+        /// Merged update range.
+        range_id: u32,
+        /// New tail-page sequence number (lineage watermark).
+        tps: u64,
+    },
+    /// Operational record: historic tail pages of a range were compressed up
+    /// to `seq` (§4.3). Idempotent for the same reason merges are.
+    HistoricCompressed {
+        /// Table the compression belongs to.
+        table_id: u32,
+        /// Affected update range.
+        range_id: u32,
+        /// Tail records strictly below this sequence were re-organized.
+        below_seq: u64,
+    },
+    /// Checkpoint marker: recovery may skip records before the previous
+    /// checkpoint pair once pages are persisted.
+    Checkpoint {
+        /// Clock value at checkpoint time.
+        ts: u64,
+    },
+}
+
+const TAG_TAIL_APPEND: u8 = 1;
+const TAG_INSERT: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+const TAG_ABORT: u8 = 4;
+const TAG_MERGE: u8 = 5;
+const TAG_HISTORIC: u8 = 6;
+const TAG_CHECKPOINT: u8 = 7;
+
+fn fnv1a(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in data {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+impl LogRecord {
+    /// Serialize into a framed, checksummed byte buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut body = BytesMut::with_capacity(64);
+        match self {
+            LogRecord::TailAppend {
+                table_id,
+                range_id,
+                seq,
+                txn_id,
+                base_rid,
+                prev_rid,
+                schema_encoding,
+                columns,
+            } => {
+                body.put_u8(TAG_TAIL_APPEND);
+                body.put_u32(*table_id);
+                body.put_u32(*range_id);
+                body.put_u32(*seq);
+                body.put_u64(*txn_id);
+                body.put_u64(*base_rid);
+                body.put_u64(*prev_rid);
+                body.put_u64(*schema_encoding);
+                body.put_u16(columns.len() as u16);
+                for (col, val) in columns {
+                    body.put_u16(*col);
+                    body.put_u64(*val);
+                }
+            }
+            LogRecord::Insert {
+                table_id,
+                range_id,
+                slot,
+                txn_id,
+                values,
+            } => {
+                body.put_u8(TAG_INSERT);
+                body.put_u32(*table_id);
+                body.put_u32(*range_id);
+                body.put_u32(*slot);
+                body.put_u64(*txn_id);
+                body.put_u16(values.len() as u16);
+                for v in values {
+                    body.put_u64(*v);
+                }
+            }
+            LogRecord::Commit { txn_id, commit_ts } => {
+                body.put_u8(TAG_COMMIT);
+                body.put_u64(*txn_id);
+                body.put_u64(*commit_ts);
+            }
+            LogRecord::Abort { txn_id } => {
+                body.put_u8(TAG_ABORT);
+                body.put_u64(*txn_id);
+            }
+            LogRecord::MergeCompleted {
+                table_id,
+                range_id,
+                tps,
+            } => {
+                body.put_u8(TAG_MERGE);
+                body.put_u32(*table_id);
+                body.put_u32(*range_id);
+                body.put_u64(*tps);
+            }
+            LogRecord::HistoricCompressed {
+                table_id,
+                range_id,
+                below_seq,
+            } => {
+                body.put_u8(TAG_HISTORIC);
+                body.put_u32(*table_id);
+                body.put_u32(*range_id);
+                body.put_u64(*below_seq);
+            }
+            LogRecord::Checkpoint { ts } => {
+                body.put_u8(TAG_CHECKPOINT);
+                body.put_u64(*ts);
+            }
+        }
+        let mut framed = BytesMut::with_capacity(body.len() + 8);
+        framed.put_u32(body.len() as u32);
+        framed.put_u32(fnv1a(&body));
+        framed.extend_from_slice(&body);
+        framed.freeze()
+    }
+
+    /// Decode one framed record from the front of `buf`. Returns the record
+    /// and the number of bytes consumed, or `Ok(None)` when `buf` holds an
+    /// incomplete (torn) frame.
+    pub fn decode(buf: &[u8]) -> WalResult<Option<(LogRecord, usize)>> {
+        if buf.len() < 8 {
+            return Ok(None);
+        }
+        let mut header = &buf[..8];
+        let len = header.get_u32() as usize;
+        let checksum = header.get_u32();
+        if buf.len() < 8 + len {
+            return Ok(None); // torn tail
+        }
+        let body = &buf[8..8 + len];
+        if fnv1a(body) != checksum {
+            return Err(WalError::Corrupt("checksum mismatch".into()));
+        }
+        let mut b = body;
+        let tag = b.get_u8();
+        let record = match tag {
+            TAG_TAIL_APPEND => {
+                let table_id = b.get_u32();
+                let range_id = b.get_u32();
+                let seq = b.get_u32();
+                let txn_id = b.get_u64();
+                let base_rid = b.get_u64();
+                let prev_rid = b.get_u64();
+                let schema_encoding = b.get_u64();
+                let n = b.get_u16() as usize;
+                let mut columns = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let col = b.get_u16();
+                    let val = b.get_u64();
+                    columns.push((col, val));
+                }
+                LogRecord::TailAppend {
+                    table_id,
+                    range_id,
+                    seq,
+                    txn_id,
+                    base_rid,
+                    prev_rid,
+                    schema_encoding,
+                    columns,
+                }
+            }
+            TAG_INSERT => {
+                let table_id = b.get_u32();
+                let range_id = b.get_u32();
+                let slot = b.get_u32();
+                let txn_id = b.get_u64();
+                let n = b.get_u16() as usize;
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(b.get_u64());
+                }
+                LogRecord::Insert {
+                    table_id,
+                    range_id,
+                    slot,
+                    txn_id,
+                    values,
+                }
+            }
+            TAG_COMMIT => LogRecord::Commit {
+                txn_id: b.get_u64(),
+                commit_ts: b.get_u64(),
+            },
+            TAG_ABORT => LogRecord::Abort { txn_id: b.get_u64() },
+            TAG_MERGE => LogRecord::MergeCompleted {
+                table_id: b.get_u32(),
+                range_id: b.get_u32(),
+                tps: b.get_u64(),
+            },
+            TAG_HISTORIC => LogRecord::HistoricCompressed {
+                table_id: b.get_u32(),
+                range_id: b.get_u32(),
+                below_seq: b.get_u64(),
+            },
+            TAG_CHECKPOINT => LogRecord::Checkpoint { ts: b.get_u64() },
+            other => return Err(WalError::Corrupt(format!("unknown tag {other}"))),
+        };
+        Ok(Some((record, 8 + len)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<LogRecord> {
+        vec![
+            LogRecord::TailAppend {
+                table_id: 1,
+                range_id: 2,
+                seq: 3,
+                txn_id: 1 << 63 | 9,
+                base_rid: 77,
+                prev_rid: 76,
+                schema_encoding: 0b0101,
+                columns: vec![(0, 10), (2, 30)],
+            },
+            LogRecord::Insert {
+                table_id: 1,
+                range_id: 0,
+                slot: 5,
+                txn_id: 1 << 63 | 10,
+                values: vec![1, 2, 3, 4],
+            },
+            LogRecord::Commit {
+                txn_id: 1 << 63 | 9,
+                commit_ts: 555,
+            },
+            LogRecord::Abort { txn_id: 1 << 63 | 10 },
+            LogRecord::MergeCompleted {
+                table_id: 1,
+                range_id: 2,
+                tps: 4096,
+            },
+            LogRecord::HistoricCompressed {
+                table_id: 1,
+                range_id: 2,
+                below_seq: 2048,
+            },
+            LogRecord::Checkpoint { ts: 999 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        for r in samples() {
+            let bytes = r.encode();
+            let (back, used) = LogRecord::decode(&bytes).unwrap().unwrap();
+            assert_eq!(back, r);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn stream_of_records_decodes_sequentially() {
+        let mut stream = Vec::new();
+        for r in samples() {
+            stream.extend_from_slice(&r.encode());
+        }
+        let mut offset = 0;
+        let mut decoded = Vec::new();
+        while let Some((r, used)) = LogRecord::decode(&stream[offset..]).unwrap() {
+            decoded.push(r);
+            offset += used;
+        }
+        assert_eq!(decoded, samples());
+        assert_eq!(offset, stream.len());
+    }
+
+    #[test]
+    fn torn_tail_returns_none() {
+        let bytes = samples()[0].encode();
+        for cut in 1..bytes.len() {
+            let r = LogRecord::decode(&bytes[..cut]);
+            // Either an incomplete frame (None) — never a spurious record.
+            match r {
+                Ok(None) => {}
+                Ok(Some(_)) => panic!("decoded from truncated frame"),
+                Err(_) => {} // header complete but body truncated+checksum fail is ok
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_body_detected() {
+        let mut bytes = samples()[0].encode().to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(matches!(
+            LogRecord::decode(&bytes),
+            Err(WalError::Corrupt(_))
+        ));
+    }
+}

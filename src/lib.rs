@@ -1,0 +1,4 @@
+//! Re-exports for integration tests and examples.
+pub use lstore;
+pub use lstore_baselines as baselines;
+pub use lstore_bench as bench;

