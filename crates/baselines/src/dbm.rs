@@ -166,7 +166,8 @@ impl Engine for DbmEngine {
             let range = &ranges[r];
             let main = Arc::clone(&range.main.read());
             // Overlay: newest delta value per slot for this column.
-            let mut overlay: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+            let mut overlay: std::collections::HashMap<usize, u64> =
+                std::collections::HashMap::new();
             {
                 let delta = range.delta.lock();
                 for rec in delta.iter() {
@@ -180,10 +181,7 @@ impl Engine for DbmEngine {
             }
             let last_slot = (RANGE_SIZE - 1).min((hi - (r * RANGE_SIZE) as u64) as usize);
             for slot in first_slot..=last_slot {
-                let v = overlay
-                    .get(&slot)
-                    .copied()
-                    .unwrap_or(main[col][slot]);
+                let v = overlay.get(&slot).copied().unwrap_or(main[col][slot]);
                 sum = sum.wrapping_add(v);
             }
             key = ((r + 1) * RANGE_SIZE) as u64;

@@ -44,7 +44,11 @@ fn bench(c: &mut Criterion) {
             let t = wl.next_txn(None);
             engine.update_transaction(&t.reads, &t.writes);
         }
-        let label = if cumulative { "cumulative" } else { "non-cumulative" };
+        let label = if cumulative {
+            "cumulative"
+        } else {
+            "non-cumulative"
+        };
         group.bench_function(format!("point_read/{label}"), |b| {
             let mut k = 0u64;
             b.iter(|| {
@@ -57,10 +61,7 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation_codec");
     group.sample_size(10);
-    for (name, codec) in [
-        ("auto", CodecChoice::Auto),
-        ("none", CodecChoice::None),
-    ] {
+    for (name, codec) in [("auto", CodecChoice::Auto), ("none", CodecChoice::None)] {
         let engine = Arc::new(LStoreEngine::with_config(
             TableConfig::default().with_codec(codec),
         ));

@@ -7,15 +7,18 @@ use std::sync::Arc;
 use lstore::TableConfig;
 use lstore_baselines::{Engine, LStoreEngine};
 use lstore_bench::report::{self, mtxns, secs};
-use lstore_bench::{run_scan_while_updating, run_throughput};
 use lstore_bench::setup;
 use lstore_bench::workload::Contention;
+use lstore_bench::{run_scan_while_updating, run_throughput};
 use lstore_storage::compress::CodecChoice;
 
 fn main() {
     let config = setup::workload(Contention::Medium);
 
-    report::header("Ablation A (§4.4)", "update-range size vs throughput & scan");
+    report::header(
+        "Ablation A (§4.4)",
+        "update-range size vs throughput & scan",
+    );
     for range_size in [1usize << 10, 1 << 12, 1 << 14, 1 << 16] {
         let engine = Arc::new(LStoreEngine::with_config(
             TableConfig::default().with_range_size(range_size),
@@ -40,7 +43,11 @@ fn main() {
         let thr = run_throughput(&e, &config, 4, setup::window(), None, true);
         let scan = run_scan_while_updating(&e, &config, 4, 3);
         report::row(
-            if cumulative { "cumulative" } else { "non-cumulative" },
+            if cumulative {
+                "cumulative"
+            } else {
+                "non-cumulative"
+            },
             &[("Mtxn/s", mtxns(thr.txns_per_sec)), ("scan", secs(scan))],
         );
     }

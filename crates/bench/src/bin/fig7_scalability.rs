@@ -4,9 +4,9 @@
 //! one merge thread always running).
 
 use lstore_bench::report::{self, mtxns};
+use lstore_bench::run_throughput;
 use lstore_bench::setup;
 use lstore_bench::workload::Contention;
-use lstore_bench::run_throughput;
 
 fn main() {
     for contention in [Contention::Low, Contention::Medium, Contention::High] {

@@ -21,5 +21,7 @@ pub mod report;
 pub mod setup;
 pub mod workload;
 
-pub use harness::{run_mixed, run_scan_while_updating, run_throughput, MixedResult, ThroughputResult};
+pub use harness::{
+    run_mixed, run_scan_while_updating, run_throughput, MixedResult, ThroughputResult,
+};
 pub use workload::{Contention, Workload, WorkloadConfig};

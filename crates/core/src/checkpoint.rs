@@ -165,8 +165,8 @@ impl Table {
                 .filter(|&v| v != NULL_VALUE)
                 .max()
                 .unwrap_or(0);
-            let has_deletes = (0..len)
-                .any(|s| crate::schema::SchemaEncoding(schema_enc.get(s)).is_delete());
+            let has_deletes =
+                (0..len).any(|s| crate::schema::SchemaEncoding(schema_enc.get(s)).is_delete());
             let version = Arc::new(BaseVersion {
                 tps,
                 column_tps: vec![tps; ncols].into_boxed_slice(),
@@ -213,7 +213,6 @@ impl Table {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::{Database, DbConfig, TableConfig};
 
     fn ckpt_path(name: &str) -> std::path::PathBuf {
@@ -276,9 +275,7 @@ mod tests {
     fn insert_phase_ranges_are_skipped() {
         let path = ckpt_path("insertphase");
         let db = Database::new(DbConfig::deterministic());
-        let t = db
-            .create_table("c", &["a"], TableConfig::small())
-            .unwrap();
+        let t = db.create_table("c", &["a"], TableConfig::small()).unwrap();
         for k in 0..10 {
             t.insert_auto(k, &[k]).unwrap();
         }

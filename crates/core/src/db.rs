@@ -142,7 +142,9 @@ impl Database {
         let id = by_id.len() as u32;
         let table = Table::create(id, name, value_columns, config, Arc::clone(&self.runtime))?;
         by_id.push(Arc::clone(&table));
-        self.tables.write().insert(name.to_string(), Arc::clone(&table));
+        self.tables
+            .write()
+            .insert(name.to_string(), Arc::clone(&table));
         Ok(table)
     }
 

@@ -42,7 +42,10 @@ impl fmt::Display for Error {
                 write!(f, "column {column} out of range (table has {columns})")
             }
             Error::TooManyColumns(n) => {
-                write!(f, "{n} data columns exceed the schema-encoding bitmap capacity")
+                write!(
+                    f,
+                    "{n} data columns exceed the schema-encoding bitmap capacity"
+                )
             }
             Error::TxnNotActive => write!(f, "transaction is not active"),
             Error::Storage(e) => write!(f, "storage error: {e}"),

@@ -96,7 +96,10 @@ impl HistoricSegment {
 
     /// Total inlined versions across records.
     pub fn version_count(&self) -> usize {
-        self.records.values().map(RecordHistory::version_count).sum()
+        self.records
+            .values()
+            .map(RecordHistory::version_count)
+            .sum()
     }
 
     /// Total delta cells (for compression-ratio reporting).
@@ -231,10 +234,8 @@ impl HistoricStore {
 
         // Build the new segment by merging with the previous one.
         let prev = self.segment(range.id);
-        let mut records: BTreeMap<u32, RecordHistory> = prev
-            .as_ref()
-            .map(|s| s.records.clone())
-            .unwrap_or_default();
+        let mut records: BTreeMap<u32, RecordHistory> =
+            prev.as_ref().map(|s| s.records.clone()).unwrap_or_default();
         for (slot, versions) in grouped {
             let hist = records.entry(slot).or_default();
             for (ts, enc_raw, cols) in versions {

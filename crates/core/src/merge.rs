@@ -306,11 +306,13 @@ pub fn merge_range(
         .filter(|&v| v != NULL_VALUE)
         .max()
         .unwrap_or(0);
-    let max_last_updated = new_lu.iter().copied().filter(|&v| v != NULL_VALUE).max().unwrap_or(0);
-    let has_deletes = base.has_deletes
-        || new_enc
-            .iter()
-            .any(|&e| SchemaEncoding(e).is_delete());
+    let max_last_updated = new_lu
+        .iter()
+        .copied()
+        .filter(|&v| v != NULL_VALUE)
+        .max()
+        .unwrap_or(0);
+    let has_deletes = base.has_deletes || new_enc.iter().any(|&e| SchemaEncoding(e).is_delete());
     let new_version = Arc::new(BaseVersion {
         tps,
         column_tps: column_tps.into_boxed_slice(),
@@ -417,7 +419,12 @@ pub fn merge_insert_range(
             }
         })
         .collect();
-    let max_start = starts.iter().copied().filter(|&v| v != NULL_VALUE).max().unwrap_or(0);
+    let max_start = starts
+        .iter()
+        .copied()
+        .filter(|&v| v != NULL_VALUE)
+        .max()
+        .unwrap_or(0);
     let has_deletes = starts.contains(&NULL_VALUE);
     let new_version = Arc::new(BaseVersion {
         tps: 0,

@@ -216,7 +216,10 @@ impl UpdateRange {
         UpdateRange {
             id,
             capacity,
-            base: RwLock::new(Arc::new(BaseVersion::insert_phase(columns, tail_page_slots))),
+            base: RwLock::new(Arc::new(BaseVersion::insert_phase(
+                columns,
+                tail_page_slots,
+            ))),
             indirection: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
             updated_cols: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
             tail: TailSegment::new(id, columns, tail_page_slots),
@@ -253,7 +256,9 @@ impl UpdateRange {
 
     /// Slots handed out so far (clamped to capacity).
     pub fn used_slots(&self) -> u32 {
-        self.next_slot.load(Ordering::Acquire).min(self.capacity as u32)
+        self.next_slot
+            .load(Ordering::Acquire)
+            .min(self.capacity as u32)
     }
 
     /// Make sure at least `upto` slots are marked used (WAL replay).
@@ -323,7 +328,8 @@ impl UpdateRange {
 
     /// Subtract merged records from the unmerged counter.
     pub fn consume_unmerged(&self, n: u64) {
-        self.unmerged.fetch_sub(n.min(self.unmerged()), Ordering::AcqRel);
+        self.unmerged
+            .fetch_sub(n.min(self.unmerged()), Ordering::AcqRel);
     }
 
     /// Attempt to claim merge-enqueue duty (CAS false→true).

@@ -180,9 +180,7 @@ impl<'a> VersionReader<'a> {
         // page is current for those columns — 2 hops, no chain walk.
         if mode.as_of.is_none() && !columns.is_empty() {
             let seq = head.seq() as u64;
-            let covered = columns
-                .iter()
-                .all(|&c| self.base.column_tps[c] >= seq);
+            let covered = columns.iter().all(|&c| self.base.column_tps[c] >= seq);
             if covered {
                 if SchemaEncoding(self.base.schema_enc(slot)).is_delete() {
                     return Resolved::Deleted;
@@ -242,9 +240,7 @@ impl<'a> VersionReader<'a> {
                 let bound = mode.as_of.unwrap_or(u64::MAX);
                 for &i in missing.clone().iter() {
                     if let Some(hist) = self.historic {
-                        if let Some(v) =
-                            hist.read_column(self.range.id, slot, columns[i], bound)
-                        {
+                        if let Some(v) = hist.read_column(self.range.id, slot, columns[i], bound) {
                             values[i] = v;
                             missing.retain(|&m| m != i);
                             continue;

@@ -52,7 +52,9 @@ impl RowRange {
     fn new(capacity: usize, width: usize, page_slots: usize) -> Self {
         RowRange {
             base: RwLock::new(Arc::new(
-                (0..capacity * width).map(|_| AtomicU64::new(NULL_VALUE)).collect(),
+                (0..capacity * width)
+                    .map(|_| AtomicU64::new(NULL_VALUE))
+                    .collect(),
             )),
             base_start: RwLock::new(Arc::new(
                 (0..capacity).map(|_| AtomicU64::new(NULL_VALUE)).collect(),
@@ -215,7 +217,9 @@ impl RowTable {
         if head_seq == 0 || (head_seq as u64) <= range.tps.load(Ordering::Acquire) {
             let base = range.base.read();
             let off = slot as usize * self.width;
-            (off..off + self.width).map(|i| base[i].load(Ordering::Acquire)).collect()
+            (off..off + self.width)
+                .map(|i| base[i].load(Ordering::Acquire))
+                .collect()
         } else {
             let off = (head_seq - 1) as usize * self.width;
             (0..self.width)
@@ -231,13 +235,19 @@ impl RowTable {
         let range = Arc::clone(&self.ranges.read()[range_id as usize]);
         let head = (range.indirection[slot as usize].load(Ordering::Acquire) & !LATCH) as u32;
         let row = self.current_row(&range, slot, head);
-        user_cols.iter().map(|&c| {
-            if c + 1 >= self.width {
-                Err(Error::ColumnOutOfRange { column: c, columns: self.width - 1 })
-            } else {
-                Ok(row[c + 1])
-            }
-        }).collect()
+        user_cols
+            .iter()
+            .map(|&c| {
+                if c + 1 >= self.width {
+                    Err(Error::ColumnOutOfRange {
+                        column: c,
+                        columns: self.width - 1,
+                    })
+                } else {
+                    Ok(row[c + 1])
+                }
+            })
+            .collect()
     }
 
     /// SUM over one value column — every read drags the full row stride
@@ -248,15 +258,13 @@ impl RowTable {
         for range in self.ranges.read().iter() {
             let base = Arc::clone(&range.base.read());
             let starts = Arc::clone(&range.base_start.read());
-            let occupied =
-                (range.occupied.load(Ordering::Acquire) as usize).min(self.range_size);
+            let occupied = (range.occupied.load(Ordering::Acquire) as usize).min(self.range_size);
             let tps = range.tps.load(Ordering::Acquire);
             for slot in 0..occupied {
                 if starts[slot].load(Ordering::Acquire) == NULL_VALUE {
                     continue;
                 }
-                let head =
-                    (range.indirection[slot].load(Ordering::Acquire) & !LATCH) as u32;
+                let head = (range.indirection[slot].load(Ordering::Acquire) & !LATCH) as u32;
                 let v = if head == 0 || (head as u64) <= tps {
                     base[slot * self.width + col].load(Ordering::Acquire)
                 } else {
@@ -336,7 +344,10 @@ mod tests {
         assert_eq!(t.read(5, &[0, 1, 2]).unwrap(), vec![50, 500, 7]);
         t.update(5, &[(1, 999)]).unwrap();
         assert_eq!(t.read(5, &[0, 1, 2]).unwrap(), vec![50, 999, 7]);
-        assert!(matches!(t.insert(5, &[0, 0, 0]), Err(Error::DuplicateKey(5))));
+        assert!(matches!(
+            t.insert(5, &[0, 0, 0]),
+            Err(Error::DuplicateKey(5))
+        ));
         assert!(matches!(t.read(1000, &[0]), Err(Error::KeyNotFound(1000))));
     }
 

@@ -115,7 +115,13 @@ impl Table {
     /// record slots starting at `start` (crossing range boundaries). This is
     /// how a columnar engine scans a segment of the table — no per-record
     /// index lookups (§6.1's "scan up to 10% of the data").
-    pub fn sum_rid_span(&self, start: crate::rid::Rid, count: u64, user_col: usize, ts: u64) -> u64 {
+    pub fn sum_rid_span(
+        &self,
+        start: crate::rid::Rid,
+        count: u64,
+        user_col: usize,
+        ts: u64,
+    ) -> u64 {
         let col = user_col + 1;
         let _guard = self.runtime.epoch.pin();
         let mode = ReadMode::as_of(ts);
@@ -182,8 +188,7 @@ impl Table {
             let reader = self.reader(&range, &base);
             let slots = self.occupied_slots(&range, &base);
             for slot in 0..slots {
-                if let Resolved::Visible { values, .. } = reader.read_record(slot, &request, mode)
-                {
+                if let Resolved::Visible { values, .. } = reader.read_record(slot, &request, mode) {
                     out.push((values[0], values[1..].to_vec()));
                 }
             }
@@ -235,7 +240,11 @@ impl Table {
 
     /// Latest-committed point read of selected value columns (auto-commit);
     /// `None` when the record is deleted.
-    pub fn read_cols_auto(&self, key: u64, user_cols: &[usize]) -> crate::error::Result<Option<Vec<u64>>> {
+    pub fn read_cols_auto(
+        &self,
+        key: u64,
+        user_cols: &[usize],
+    ) -> crate::error::Result<Option<Vec<u64>>> {
         let cols: Vec<usize> = user_cols.iter().map(|&c| c + 1).collect();
         let base_rid = self.locate(key)?;
         let range = self.range(base_rid.range());

@@ -190,7 +190,10 @@ mod tests {
         assert!(Schema::new(&["a"], 1).is_err());
         let many: Vec<String> = (0..49).map(|i| format!("c{i}")).collect();
         let refs: Vec<&str> = many.iter().map(String::as_str).collect();
-        assert!(matches!(Schema::new(&refs, 0), Err(Error::TooManyColumns(49))));
+        assert!(matches!(
+            Schema::new(&refs, 0),
+            Err(Error::TooManyColumns(49))
+        ));
     }
 
     #[test]

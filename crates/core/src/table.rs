@@ -160,8 +160,7 @@ impl Table {
             let reader = self.reader(&range, &base);
             let slots = self.occupied_slots(&range, &base);
             for slot in 0..slots {
-                if let Resolved::Visible { values, .. } =
-                    reader.read_record(slot, &[col, 0], mode)
+                if let Resolved::Visible { values, .. } = reader.read_record(slot, &[col, 0], mode)
                 {
                     idx.insert(values[0], Rid::base(range.id, slot).0);
                 }
@@ -208,10 +207,7 @@ impl Table {
 
     /// Resolve a key to its stable base RID via the primary index.
     pub fn locate(&self, key: u64) -> Result<Rid> {
-        self.pk
-            .get(key)
-            .map(Rid)
-            .ok_or(Error::KeyNotFound(key))
+        self.pk.get(key).map(Rid).ok_or(Error::KeyNotFound(key))
     }
 
     // ------------------------------------------------------------------
@@ -337,7 +333,9 @@ impl Table {
             Some(p) => p,
             None => {
                 TableStats::bump(&self.stats.write_conflicts);
-                return Err(Error::WriteConflict { base_rid: base_rid.0 });
+                return Err(Error::WriteConflict {
+                    base_rid: base_rid.0,
+                });
             }
         };
 
@@ -355,7 +353,9 @@ impl Table {
                 Some(TxnStatus::Active) | Some(TxnStatus::PreCommit) => {
                     range.unlatch_restore(slot, prev);
                     TableStats::bump(&self.stats.write_conflicts);
-                    return Err(Error::WriteConflict { base_rid: base_rid.0 });
+                    return Err(Error::WriteConflict {
+                        base_rid: base_rid.0,
+                    });
                 }
                 _ => {}
             }
@@ -521,13 +521,14 @@ impl Table {
                 speculative,
                 exclude_own: false,
             },
-            lstore_txn::IsolationLevel::Snapshot
-            | lstore_txn::IsolationLevel::RepeatableRead => ReadMode {
-                as_of: Some(txn.begin),
-                txn_id: txn.id,
-                speculative,
-                exclude_own: false,
-            },
+            lstore_txn::IsolationLevel::Snapshot | lstore_txn::IsolationLevel::RepeatableRead => {
+                ReadMode {
+                    as_of: Some(txn.begin),
+                    txn_id: txn.id,
+                    speculative,
+                    exclude_own: false,
+                }
+            }
         }
     }
 
@@ -751,8 +752,7 @@ impl Table {
                 continue; // graduates via the insert merge first
             }
             let from = range.base().tps + 1;
-            let bounded =
-                merge::committed_prefix_upto_time(&range, from, &self.runtime.mgr, ti);
+            let bounded = merge::committed_prefix_upto_time(&range, from, &self.runtime.mgr, ti);
             if bounded < from {
                 continue;
             }
@@ -781,12 +781,9 @@ impl Table {
     pub fn compress_historic(&self, range_id: u32, oldest_snapshot: u64) -> usize {
         let range = self.range(range_id);
         let tps = range.base().tps;
-        let n = self.historic.compress_range(
-            &range,
-            tps,
-            oldest_snapshot,
-            &self.runtime.mgr,
-        );
+        let n = self
+            .historic
+            .compress_range(&range, tps, oldest_snapshot, &self.runtime.mgr);
         if n > 0 {
             TableStats::add(&self.stats.historic_compressed, n as u64);
             if let Some(wal) = &self.runtime.wal {
@@ -829,7 +826,10 @@ impl Table {
 
     /// Total encoded bytes of all base pages (storage-footprint metric).
     pub fn base_bytes(&self) -> usize {
-        self.all_ranges().iter().map(|r| r.base().encoded_bytes()).sum()
+        self.all_ranges()
+            .iter()
+            .map(|r| r.base().encoded_bytes())
+            .sum()
     }
 }
 

@@ -213,10 +213,15 @@ mod tests {
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let seg = Arc::clone(&seg);
-                std::thread::spawn(move || (0..1000).map(|_| seg.allocate_seq()).collect::<Vec<_>>())
+                std::thread::spawn(move || {
+                    (0..1000).map(|_| seg.allocate_seq()).collect::<Vec<_>>()
+                })
             })
             .collect();
-        let mut seqs: Vec<u32> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut seqs: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         seqs.sort_unstable();
         assert_eq!(seqs, (1..=4000).collect::<Vec<u32>>());
         assert_eq!(seg.high_seq(), 4000);
@@ -227,7 +232,14 @@ mod tests {
         let seg = TailSegment::new(0, 1, 16);
         let seq = seg.allocate_seq();
         let txn_id = (1 << 63) | 5u64;
-        seg.write_record(seq, Rid::NULL, SchemaEncoding::empty(), Rid::NULL, &[], txn_id);
+        seg.write_record(
+            seq,
+            Rid::NULL,
+            SchemaEncoding::empty(),
+            Rid::NULL,
+            &[],
+            txn_id,
+        );
         seg.swap_start_cell(seq, txn_id, 1234);
         assert_eq!(seg.start_cell(seq), 1234);
         // Idempotent / no-op when the cell already holds the timestamp.
@@ -240,7 +252,14 @@ mod tests {
         let seg = TailSegment::new(0, 1, 4);
         for _ in 0..12 {
             let s = seg.allocate_seq();
-            seg.write_record(s, Rid::NULL, SchemaEncoding::from_columns([0]), Rid::NULL, &[(0, s as u64)], s as u64);
+            seg.write_record(
+                s,
+                Rid::NULL,
+                SchemaEncoding::from_columns([0]),
+                Rid::NULL,
+                &[(0, s as u64)],
+                s as u64,
+            );
         }
         let released = seg.release_below(9); // records 1..8 span two full pages
         assert!(released >= 2);

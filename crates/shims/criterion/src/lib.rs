@@ -1,0 +1,191 @@
+//! Offline shim for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The build environment has no crates.io access; this crate provides the
+//! subset of the Criterion API the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `iter`, `criterion_group!`,
+//! `criterion_main!`, `black_box`). It measures wall-clock time per
+//! iteration and prints a one-line summary per benchmark — enough to compare
+//! engines and track trends, without the real crate's statistics machinery.
+//!
+//! Environment knobs:
+//! * `CRITERION_SHIM_ITERS` — fixed iteration count per sample (default:
+//!   auto-calibrated to ~50 ms of work per benchmark).
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// No-op in the shim (the real crate writes final reports here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the measurement time budget. Accepted for source compatibility;
+    /// the shim derives its budget from the iteration calibration instead.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: iters_per_sample(),
+            samples: Vec::with_capacity(self.sample_size),
+            sample_target: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&self.name, &id, &bencher.samples);
+        self
+    }
+
+    /// Finish the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+fn iters_per_sample() -> Option<u64> {
+    std::env::var("CRITERION_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    iters: Option<u64>,
+    samples: Vec<Duration>,
+    sample_target: usize,
+}
+
+impl Bencher {
+    /// Measure `routine`, collecting one timed sample per configured sample
+    /// slot. Iteration counts auto-calibrate so a sample takes ≥ ~5 ms.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up + calibration.
+        let iters = match self.iters {
+            Some(n) => n.max(1),
+            None => {
+                let mut n = 1u64;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..n {
+                        black_box(routine());
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= Duration::from_millis(5) || n >= 1 << 20 {
+                        break n;
+                    }
+                    n *= 2;
+                }
+            }
+        };
+        for _ in 0..self.sample_target {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let per_iter = start.elapsed().as_nanos() / iters as u128;
+            self.samples
+                .push(Duration::from_nanos(per_iter.min(u64::MAX as u128) as u64));
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        eprintln!("  {group}/{id}: no samples");
+        return;
+    }
+    let mut sorted: Vec<Duration> = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    eprintln!(
+        "  {group}/{id}: median {median:?}/iter (min {min:?}, max {max:?}, {} samples)",
+        samples.len()
+    );
+}
+
+/// Collect benchmark functions under one name, like the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every group, like the real macro. Ignores CLI
+/// arguments (the libtest harness passes `--bench` etc. when invoked via
+/// `cargo bench`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        std::env::set_var("CRITERION_SHIM_ITERS", "3");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(4);
+        let mut runs = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        // 4 samples × 3 iters.
+        assert_eq!(runs, 12);
+        std::env::remove_var("CRITERION_SHIM_ITERS");
+    }
+}

@@ -59,12 +59,20 @@ impl BitPacked {
     /// Random access to value `idx`. Panics when out of bounds.
     #[inline]
     pub fn get(&self, idx: usize) -> u64 {
-        assert!(idx < self.len, "bitpack index {idx} out of bounds {}", self.len);
+        assert!(
+            idx < self.len,
+            "bitpack index {idx} out of bounds {}",
+            self.len
+        );
         let width = self.width as usize;
         let bit = idx * width;
         let word = bit / 64;
         let off = bit % 64;
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let lo = self.words[word] >> off;
         if off + width <= 64 {
             lo & mask
@@ -87,7 +95,11 @@ mod tests {
     #[test]
     fn roundtrip_widths() {
         for width in [1u8, 3, 7, 8, 13, 31, 33, 63, 64] {
-            let max = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let max = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
             let values: Vec<u64> = (0..257u64)
                 .map(|i| i.wrapping_mul(0x9E37_79B9).wrapping_add(7) & max)
                 .collect();

@@ -112,7 +112,10 @@ mod tests {
     #[test]
     fn missing_ids_error() {
         let d: Directory<u64> = Directory::new();
-        assert!(matches!(d.get(0), Err(StorageError::MissingEntry { id: 0 })));
+        assert!(matches!(
+            d.get(0),
+            Err(StorageError::MissingEntry { id: 0 })
+        ));
         assert!(d.swap(3, Arc::new(1)).is_err());
     }
 

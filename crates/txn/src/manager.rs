@@ -234,7 +234,7 @@ mod tests {
         mgr.commit(a);
         mgr.abort(b);
         // c stays active.
-        let removed = mgr.gc(u64::MAX & !TXN_ID_FLAG);
+        let removed = mgr.gc(!TXN_ID_FLAG);
         assert_eq!(removed, 2);
         assert!(mgr.get(c).is_some());
         assert_eq!(mgr.tracked(), 1);
@@ -254,7 +254,10 @@ mod tests {
                 })
             })
             .collect();
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         let n = all.len();
         all.sort_unstable();
         all.dedup();

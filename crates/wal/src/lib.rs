@@ -28,7 +28,7 @@ pub mod record;
 pub mod recovery;
 pub mod writer;
 
-pub use ownership::{OrPage, OrOutcome};
+pub use ownership::{OrOutcome, OrPage};
 pub use record::LogRecord;
 pub use recovery::{recover, RecoveredState};
 pub use writer::{Wal, WalConfig};

@@ -135,7 +135,8 @@ impl OrPage {
                 *grants = 0;
                 self.drained.notify_all();
             } else {
-                self.drained.wait_for(&mut grants, std::time::Duration::from_micros(50));
+                self.drained
+                    .wait_for(&mut grants, std::time::Duration::from_micros(50));
             }
         }
         *grants += 1;

@@ -264,7 +264,9 @@ impl LogRecord {
                 txn_id: b.get_u64(),
                 commit_ts: b.get_u64(),
             },
-            TAG_ABORT => LogRecord::Abort { txn_id: b.get_u64() },
+            TAG_ABORT => LogRecord::Abort {
+                txn_id: b.get_u64(),
+            },
             TAG_MERGE => LogRecord::MergeCompleted {
                 table_id: b.get_u32(),
                 range_id: b.get_u32(),
@@ -309,7 +311,9 @@ mod tests {
                 txn_id: 1 << 63 | 9,
                 commit_ts: 555,
             },
-            LogRecord::Abort { txn_id: 1 << 63 | 10 },
+            LogRecord::Abort {
+                txn_id: 1 << 63 | 10,
+            },
             LogRecord::MergeCompleted {
                 table_id: 1,
                 range_id: 2,

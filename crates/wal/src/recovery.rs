@@ -151,13 +151,22 @@ mod tests {
         append(&mut stream, &tail_append(T1, 1));
         append(&mut stream, &tail_append(T2, 2));
         append(&mut stream, &tail_append(T3, 3));
-        append(&mut stream, &LogRecord::Commit { txn_id: T1, commit_ts: 100 });
+        append(
+            &mut stream,
+            &LogRecord::Commit {
+                txn_id: T1,
+                commit_ts: 100,
+            },
+        );
         append(&mut stream, &LogRecord::Abort { txn_id: T2 });
 
         let state = recover_from_bytes(&stream).unwrap();
         assert_eq!(state.commit_ts_of(T1), Some(100));
         assert!(state.aborted.contains(&T2));
-        assert_eq!(state.in_flight.iter().copied().collect::<Vec<_>>(), vec![T3]);
+        assert_eq!(
+            state.in_flight.iter().copied().collect::<Vec<_>>(),
+            vec![T3]
+        );
         assert!(!state.torn_tail);
         assert_eq!(state.bytes_scanned, stream.len());
     }
@@ -166,7 +175,13 @@ mod tests {
     fn torn_tail_is_trimmed_not_fatal() {
         let mut stream = Vec::new();
         append(&mut stream, &tail_append(T1, 1));
-        append(&mut stream, &LogRecord::Commit { txn_id: T1, commit_ts: 9 });
+        append(
+            &mut stream,
+            &LogRecord::Commit {
+                txn_id: T1,
+                commit_ts: 9,
+            },
+        );
         let full = stream.len();
         append(&mut stream, &tail_append(T2, 2));
         // Tear the final record in half.
@@ -183,9 +198,21 @@ mod tests {
         let mut stream = Vec::new();
         append(&mut stream, &tail_append(T1, 1));
         let first = stream.len();
-        append(&mut stream, &LogRecord::Commit { txn_id: T1, commit_ts: 9 });
+        append(
+            &mut stream,
+            &LogRecord::Commit {
+                txn_id: T1,
+                commit_ts: 9,
+            },
+        );
         append(&mut stream, &tail_append(T2, 2));
-        append(&mut stream, &LogRecord::Commit { txn_id: T2, commit_ts: 10 });
+        append(
+            &mut stream,
+            &LogRecord::Commit {
+                txn_id: T2,
+                commit_ts: 10,
+            },
+        );
         // Flip a byte inside the *first* record's body.
         stream[first - 2] ^= 0xFF;
         assert!(recover_from_bytes(&stream).is_err());

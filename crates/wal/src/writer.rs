@@ -153,7 +153,10 @@ mod tests {
     fn commit_forces_flush() {
         let path = temp_log("flush");
         let wal = Wal::create(&path, WalConfig::default()).unwrap();
-        wal.append(&LogRecord::Abort { txn_id: 1 << 63 | 1 }).unwrap();
+        wal.append(&LogRecord::Abort {
+            txn_id: 1 << 63 | 1,
+        })
+        .unwrap();
         // Not flushed yet (buffer below threshold)...
         wal.append(&LogRecord::Commit {
             txn_id: 1 << 63 | 2,

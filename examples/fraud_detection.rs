@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..50_000u64 {
         rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
         // A burst generator: a few "hot" cards attract many charges.
-        let card = if rng % 10 == 0 { rng % 7 } else { (rng >> 16) % CARDS };
+        let card = if rng.is_multiple_of(10) {
+            rng % 7
+        } else {
+            (rng >> 16) % CARDS
+        };
         let amount = 1 + (rng >> 32) % 4_000;
 
         // The authorization transaction: analytics + decision + write, all
@@ -55,11 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 cards.update(&mut txn, card, &[(2, 1)])?; // flag the card
                 Ok(false)
             } else {
-                cards.update(
-                    &mut txn,
-                    card,
-                    &[(0, charges + 1), (1, spend + amount)],
-                )?;
+                cards.update(&mut txn, card, &[(0, charges + 1), (1, spend + amount)])?;
                 Ok(true)
             }
         })();

@@ -47,7 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut purchases = 0u64;
         let mut rng: u64 = 0x5EED;
         while !stop2.load(Ordering::Relaxed) {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let shopper = (rng >> 16) % SHOPPERS;
             let zone = (rng >> 40) % ZONES;
             if rng % 10 < 8 {
@@ -63,11 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         .read(&mut txn, shopper, &[1])?
                         .ok_or(lstore::Error::KeyNotFound(shopper))?;
                     let amount = 10 + (rng >> 8) % 90;
-                    shoppers2.update(
-                        &mut txn,
-                        shopper,
-                        &[(1, row[0] + 1), (2, amount)],
-                    )?;
+                    shoppers2.update(&mut txn, shopper, &[(1, row[0] + 1), (2, amount)])?;
                     Ok(())
                 })();
                 match ok {

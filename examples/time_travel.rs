@@ -37,9 +37,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let day2 = sensors.now();
 
     // Query the same key at three points in time.
-    println!("sensor 10 @day0 = {:?}", sensors.read_as_of(10, &[0, 1], day0)?);
-    println!("sensor 10 @day1 = {:?}", sensors.read_as_of(10, &[0, 1], day1)?);
-    println!("sensor 10 @day2 = {:?}", sensors.read_as_of(10, &[0, 1], day2)?);
+    println!(
+        "sensor 10 @day0 = {:?}",
+        sensors.read_as_of(10, &[0, 1], day0)?
+    );
+    println!(
+        "sensor 10 @day1 = {:?}",
+        sensors.read_as_of(10, &[0, 1], day1)?
+    );
+    println!(
+        "sensor 10 @day2 = {:?}",
+        sensors.read_as_of(10, &[0, 1], day2)?
+    );
     assert_eq!(sensors.read_as_of(10, &[0, 1], day0)?, Some(vec![20, 50]));
     assert_eq!(sensors.read_as_of(10, &[0, 1], day1)?, Some(vec![35, 50]));
     assert_eq!(sensors.read_as_of(10, &[0, 1], day2)?, Some(vec![18, 80]));

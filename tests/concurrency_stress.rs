@@ -83,9 +83,7 @@ fn concurrent_increments_scans_and_merges() {
     assert_eq!(t.sum_auto(0), total, "every commit counted exactly once");
     t.merge_all();
     assert_eq!(t.sum_auto(0), total, "merges change nothing");
-    let per_key: u64 = (0..KEYS)
-        .map(|k| t.read_latest_auto(k).unwrap()[0])
-        .sum();
+    let per_key: u64 = (0..KEYS).map(|k| t.read_latest_auto(k).unwrap()[0]).sum();
     assert_eq!(per_key, total);
 }
 

@@ -92,7 +92,10 @@ fn merge_with_limit_batches_consume_incrementally() {
             assert_eq!(t.read_latest_auto(10).unwrap()[0], 11);
         }
     }
-    assert!(total_consumed >= 300, "updates + snapshots consumed in batches");
+    assert!(
+        total_consumed >= 300,
+        "updates + snapshots consumed in batches"
+    );
     let expected: u64 = (0..300u64).map(|k| k + 1).sum();
     assert_eq!(t.sum_auto(0), expected);
 }
@@ -150,7 +153,7 @@ fn deletes_survive_merges_and_historic() {
     t.merge_all();
     assert_eq!(t.count_as_of(t.now()), 50, "merged deletes stay deleted");
     assert_eq!(t.count_as_of(before_delete), 100, "history intact");
-    let sum_after: u64 = (50..100).map(|k| k).sum();
+    let sum_after: u64 = (50..100).sum();
     assert_eq!(t.sum_auto(0), sum_after);
 }
 
@@ -172,7 +175,8 @@ fn lazy_timestamp_swap_happens_on_read() {
 #[test]
 fn secondary_index_returns_stale_and_fresh_rids_for_reevaluation() {
     let (_db, t) = setup(50);
-    let idx = t.create_secondary_index(1).unwrap(); // column b = 2k
+    // Index column b (= 2k).
+    let idx = t.create_secondary_index(1).unwrap();
     // Find records with b = 20 → key 10.
     let hits = idx.get(20);
     assert_eq!(hits.len(), 1);

@@ -125,7 +125,10 @@ fn table4_relaxed_merge() {
 
     // Graduate the insert range, then merge the tail.
     let consumed = t.merge_all();
-    assert!(consumed >= 7, "snapshots + updates all consumed, got {consumed}");
+    assert!(
+        consumed >= 7,
+        "snapshots + updates all consumed, got {consumed}"
+    );
 
     // Merged pages answer the latest state directly (2-hop fast path).
     assert_eq!(t.read_latest_auto(2).unwrap(), vec![0xA22, 0xB2, 0xC21]);

@@ -147,10 +147,10 @@ proptest! {
         let t = lstore::RowTable::new(3, 16);
         let mut model: BTreeMap<u64, [u64; 3]> = BTreeMap::new();
         for (key, col, value) in ops {
-            if !model.contains_key(&key) {
+            if let std::collections::btree_map::Entry::Vacant(e) = model.entry(key) {
                 let init = [key, key + 1, key + 2];
                 t.insert(key, &init).unwrap();
-                model.insert(key, init);
+                e.insert(init);
             }
             t.update(key, &[(col, value)]).unwrap();
             model.get_mut(&key).unwrap()[col] = value;

@@ -57,7 +57,10 @@ fn replay_reconstructs_committed_state() {
         assert_eq!(got, vec![row[1], row[2]], "key {}", row[0]);
     }
     for k in (0..500).step_by(50) {
-        assert!(t2.read_cols_auto(k, &[0]).unwrap().is_none(), "key {k} deleted");
+        assert!(
+            t2.read_cols_auto(k, &[0]).unwrap().is_none(),
+            "key {k} deleted"
+        );
     }
     // Scans agree too (indirection rebuilt correctly).
     let sum_before: u64 = expected.iter().map(|r| r[1]).sum();
@@ -70,9 +73,7 @@ fn inflight_transactions_are_tombstoned() {
     let path = wal_path("inflight");
     {
         let db = Database::new(DbConfig::deterministic().with_wal(path.clone(), false));
-        let t = db
-            .create_table("r", &["a"], TableConfig::small())
-            .unwrap();
+        let t = db.create_table("r", &["a"], TableConfig::small()).unwrap();
         for k in 0..50 {
             t.insert_auto(k, &[k]).unwrap();
         }
@@ -91,11 +92,12 @@ fn inflight_transactions_are_tombstoned() {
     assert_eq!(state.aborted.len(), 1);
 
     let db2 = Database::new(DbConfig::deterministic());
-    let t2 = db2
-        .create_table("r", &["a"], TableConfig::small())
-        .unwrap();
+    let t2 = db2.create_table("r", &["a"], TableConfig::small()).unwrap();
     let report = t2.replay(&state).unwrap();
-    assert!(report.skipped >= 2, "in-flight + aborted records tombstoned");
+    assert!(
+        report.skipped >= 2,
+        "in-flight + aborted records tombstoned"
+    );
     // Neither uncommitted write is visible.
     assert_eq!(t2.read_latest_auto(1).unwrap(), vec![1]);
     assert_eq!(t2.read_latest_auto(2).unwrap(), vec![2]);
@@ -111,9 +113,7 @@ fn torn_log_tail_recovers_prefix() {
     let path = wal_path("torn");
     {
         let db = Database::new(DbConfig::deterministic().with_wal(path.clone(), false));
-        let t = db
-            .create_table("r", &["a"], TableConfig::small())
-            .unwrap();
+        let t = db.create_table("r", &["a"], TableConfig::small()).unwrap();
         for k in 0..20 {
             t.insert_auto(k, &[k]).unwrap();
         }
@@ -128,9 +128,7 @@ fn torn_log_tail_recovers_prefix() {
     let state = lstore_wal::recover(&path).unwrap();
     assert!(state.torn_tail);
     let db2 = Database::new(DbConfig::deterministic());
-    let t2 = db2
-        .create_table("r", &["a"], TableConfig::small())
-        .unwrap();
+    let t2 = db2.create_table("r", &["a"], TableConfig::small()).unwrap();
     t2.replay(&state).unwrap();
     // The torn record is the commit/insert of the last key; everything
     // durable before it is intact.

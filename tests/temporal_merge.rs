@@ -7,9 +7,7 @@ use lstore::{Database, DbConfig, TableConfig};
 #[test]
 fn merge_upto_time_stops_at_the_agreed_timestamp() {
     let db = Database::new(DbConfig::deterministic());
-    let t = db
-        .create_table("tm", &["v"], TableConfig::small())
-        .unwrap();
+    let t = db.create_table("tm", &["v"], TableConfig::small()).unwrap();
     for k in 0..400 {
         t.insert_auto(k, &[0]).unwrap();
     }
@@ -53,7 +51,11 @@ fn merge_upto_time_stops_at_the_agreed_timestamp() {
     // A later full merge brings pages to the present.
     t.merge_all();
     assert_eq!(t.sum_auto(0), 800);
-    assert_eq!(t.sum_as_of(0, ti), 400, "history preserved after full merge");
+    assert_eq!(
+        t.sum_as_of(0, ti),
+        400,
+        "history preserved after full merge"
+    );
 }
 
 #[test]
