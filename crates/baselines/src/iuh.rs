@@ -11,7 +11,7 @@
 //! * "the presence of a single history table also results in reduced
 //!   locality for reads and more cache misses" — one global, mutex-guarded
 //!   history log;
-//! * the history "include[s] only the updated columns" (their optimization).
+//! * the history "include\[s\] only the updated columns" (their optimization).
 //!
 //! Snapshot scans reconstruct values at a timestamp by walking each
 //! record's history chain backwards when the main value is too new.

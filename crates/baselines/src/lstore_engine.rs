@@ -24,10 +24,19 @@ impl LStoreEngine {
         Self::with_config(TableConfig::default())
     }
 
-    /// Create with a custom table configuration.
+    /// Create with a custom table configuration. Scans stay sequential
+    /// (`scan_threads = 1`), matching the paper's evaluation setting of one
+    /// scan thread (§6.1) so cross-engine comparisons measure the same
+    /// thing; use [`Self::with_configs`] to give the engine a scan pool.
     pub fn with_config(table_config: TableConfig) -> Self {
+        Self::with_configs(DbConfig::new().with_scan_threads(1), table_config)
+    }
+
+    /// Create with custom database and table configurations (the
+    /// `scan_threads` axis of the scan benchmarks enters here).
+    pub fn with_configs(db_config: DbConfig, table_config: TableConfig) -> Self {
         LStoreEngine {
-            db: Database::new(DbConfig::new()),
+            db: Database::new(db_config),
             table: parking_lot::RwLock::new(None),
             table_config,
         }

@@ -1,0 +1,365 @@
+//! CI perf regression gate: compare a fresh `BENCH_JSON` report against the
+//! committed baseline (`bench/baseline.json`) and fail on large regressions.
+//!
+//! Both files are the JSON Lines sink of `lstore_bench::report`: one object
+//! per header/row, string-valued cells. Cells are matched by
+//! `(experiment, label, cell name)`; values ending in `s` are latencies
+//! (lower is better), plain numbers are throughputs (higher is better),
+//! `…x` speedup cells and non-numeric cells are ignored.
+//!
+//! Short smoke windows are noisy, so the gate is built for robustness
+//! rather than cell-by-cell strictness:
+//!
+//! * when a report contains the same cell several times (the CI job runs the
+//!   smoke bench repeatedly, appending to one file), the **median** of the
+//!   repetitions is used on both sides;
+//! * the pass/fail decision is taken per **(experiment, cell name)** group
+//!   — cell names are engine names in the cross-engine reports — on the
+//!   geometric mean of the group's current/baseline ratios (improvements
+//!   oriented above 1 for both metric directions). One noisy cell cannot
+//!   fail the build; a real 30%-plus regression of one engine's throughput
+//!   will, even while the other engines hold steady.
+//!
+//! Environment knobs:
+//! * `BENCH_BASELINE` — baseline path (default `bench/baseline.json`);
+//! * `BENCH_CURRENT` — fresh report path (default
+//!   `BENCH_fig7_scalability.json`);
+//! * `BENCH_REGRESSION_PCT` — allowed regression in percent (default `30`);
+//! * `BENCH_NORMALIZE` — set to `1` to divide every ratio by the run-wide
+//!   median ratio before judging. This calibrates away uniform
+//!   hardware-speed differences between the machine that produced the
+//!   committed baseline and the machine running the comparison (CI runners
+//!   vary in per-core speed): the three engines in one report act as
+//!   in-run controls, so a regression localized to one engine or
+//!   experiment still trips the gate while a uniformly slower runner does
+//!   not. Leave unset for same-machine comparisons, where absolute ratios
+//!   are the stronger check;
+//! * `BENCH_BASELINE_ALLOW_MISSING` — set to `1` to tolerate baseline cells
+//!   absent from the current report (default: that is a failure, because it
+//!   means the bench shape changed without regenerating the baseline).
+//!
+//! Exit status is non-zero when any comparison fails, which is what lets the
+//! CI bench-smoke job gate merges on the committed perf trajectory.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One comparable measurement: (experiment, label, cell) → numeric value
+/// plus its direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Direction {
+    HigherIsBetter,
+    LowerIsBetter,
+}
+
+type Key = (String, String, String);
+
+/// Minimal parser for the flat JSON objects `report.rs` emits: string
+/// values and at most one level of nesting (the `cells` object). Returns
+/// `(top-level string fields, cells)`.
+fn parse_line(line: &str) -> Option<(BTreeMap<String, String>, BTreeMap<String, String>)> {
+    let mut chars = line.trim().char_indices().peekable();
+    let mut top = BTreeMap::new();
+    let mut cells = BTreeMap::new();
+    if chars.next().map(|(_, c)| c) != Some('{') {
+        return None;
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek().map(|&(_, c)| c) {
+            Some('}') | None => break,
+            Some(',') => {
+                chars.next();
+                continue;
+            }
+            _ => {}
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next().map(|(_, c)| c) != Some(':') {
+            return None;
+        }
+        skip_ws(&mut chars);
+        match chars.peek().map(|&(_, c)| c) {
+            Some('"') => {
+                let value = parse_string(&mut chars)?;
+                top.insert(key, value);
+            }
+            Some('{') => {
+                chars.next();
+                loop {
+                    skip_ws(&mut chars);
+                    match chars.peek().map(|&(_, c)| c) {
+                        Some('}') => {
+                            chars.next();
+                            break;
+                        }
+                        Some(',') => {
+                            chars.next();
+                            continue;
+                        }
+                        None => return None,
+                        _ => {}
+                    }
+                    let name = parse_string(&mut chars)?;
+                    skip_ws(&mut chars);
+                    if chars.next().map(|(_, c)| c) != Some(':') {
+                        return None;
+                    }
+                    skip_ws(&mut chars);
+                    let value = parse_string(&mut chars)?;
+                    if key == "cells" {
+                        cells.insert(name, value);
+                    }
+                }
+            }
+            _ => return None, // numbers/bools never appear in our sink
+        }
+    }
+    Some((top, cells))
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) {
+    while matches!(chars.peek(), Some(&(_, c)) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) -> Option<String> {
+    skip_ws(chars);
+    if chars.next().map(|(_, c)| c) != Some('"') {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next().map(|(_, c)| c)? {
+            '"' => return Some(out),
+            '\\' => match chars.next().map(|(_, c)| c)? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'u' => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        code = code * 16 + chars.next().map(|(_, c)| c)?.to_digit(16)?;
+                    }
+                    out.push(char::from_u32(code)?);
+                }
+                c => out.push(c),
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Parse a report cell value into `(number, direction)`; `None` for
+/// non-metric cells (speedup factors, free text).
+fn parse_metric(value: &str) -> Option<(f64, Direction)> {
+    let v = value.trim();
+    if let Some(stripped) = v.strip_suffix('s') {
+        return stripped
+            .parse::<f64>()
+            .ok()
+            .map(|n| (n, Direction::LowerIsBetter));
+    }
+    if v.ends_with('x') {
+        return None; // derived speedup factor, not a primary metric
+    }
+    v.parse::<f64>()
+        .ok()
+        .map(|n| (n, Direction::HigherIsBetter))
+}
+
+/// Load every comparable measurement from one JSONL report. Repeated cells
+/// (the same experiment re-run, appended to one file) collapse to their
+/// median.
+fn load(path: &str) -> Result<BTreeMap<Key, (f64, Direction)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut samples: BTreeMap<Key, (Vec<f64>, Direction)> = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Some((top, cells)) = parse_line(line) else {
+            return Err(format!("{path}: malformed report line: {line}"));
+        };
+        if top.get("type").map(String::as_str) != Some("row") {
+            continue; // headers and CI meta stamps carry no metrics
+        }
+        let experiment = top.get("experiment").cloned().unwrap_or_default();
+        let label = top.get("label").cloned().unwrap_or_default();
+        for (name, value) in cells {
+            if let Some((n, direction)) = parse_metric(&value) {
+                if n.is_finite() {
+                    samples
+                        .entry((experiment.clone(), label.clone(), name))
+                        .or_insert_with(|| (Vec::new(), direction))
+                        .0
+                        .push(n);
+                }
+            }
+        }
+    }
+    Ok(samples
+        .into_iter()
+        .map(|(k, (v, d))| (k, (median(v), d)))
+        .collect())
+}
+
+/// Median of a non-empty sample list.
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+fn env_or(name: &str, default: &str) -> String {
+    std::env::var(name)
+        .ok()
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| default.into())
+}
+
+fn main() -> ExitCode {
+    let baseline_path = env_or("BENCH_BASELINE", "bench/baseline.json");
+    let current_path = env_or("BENCH_CURRENT", "BENCH_fig7_scalability.json");
+    let pct: f64 = env_or("BENCH_REGRESSION_PCT", "30").parse().unwrap_or(30.0);
+    let allow_missing = env_or("BENCH_BASELINE_ALLOW_MISSING", "0") == "1";
+    let normalize = env_or("BENCH_NORMALIZE", "0") == "1";
+
+    let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("compare_baseline: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    if baseline.is_empty() {
+        eprintln!("compare_baseline: no comparable rows in {baseline_path}");
+        return ExitCode::FAILURE;
+    }
+
+    println!("comparing {current_path} against {baseline_path} (threshold {pct}%)");
+    // Per-cell improvement ratios (cur/base oriented so > 1 is better),
+    // grouped by (experiment, cell name) — cell names are engine names in
+    // the cross-engine reports, so a regression localized to one engine is
+    // judged against that engine's own cells only, not averaged away
+    // against the unaffected ones.
+    let mut ratios: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for ((experiment, label, cell), (base, direction)) in &baseline {
+        let id = format!("{experiment} / {label} / {cell}");
+        let Some((cur, _)) = current.get(&(experiment.clone(), label.clone(), cell.clone())) else {
+            if allow_missing {
+                println!("  SKIP {id}: not in current report");
+            } else {
+                eprintln!(
+                    "  FAIL {id}: missing from current report — \
+                     regenerate bench/baseline.json if the bench shape changed"
+                );
+                failures += 1;
+            }
+            continue;
+        };
+        if *base <= f64::EPSILON || *cur <= f64::EPSILON {
+            println!("  SKIP {id}: value ~0");
+            continue;
+        }
+        compared += 1;
+        let ratio = match direction {
+            Direction::HigherIsBetter => cur / base,
+            Direction::LowerIsBetter => base / cur,
+        };
+        println!(
+            "  {id}: baseline={base:.6} current={cur:.6} ({:+.1}%)",
+            (ratio - 1.0) * 100.0
+        );
+        ratios
+            .entry(format!("{experiment} / {cell}"))
+            .or_default()
+            .push(ratio);
+    }
+    // Optional hardware calibration: divide every ratio by the run-wide
+    // median ratio, so only *relative* shifts (one engine/experiment
+    // regressing against the others) count.
+    if normalize {
+        let all: Vec<f64> = ratios.values().flatten().copied().collect();
+        if !all.is_empty() {
+            let cal = median(all);
+            println!("normalizing by run-wide median ratio {cal:.3}");
+            for rs in ratios.values_mut() {
+                for r in rs.iter_mut() {
+                    *r /= cal;
+                }
+            }
+        }
+    }
+    // Verdict per (experiment, engine): geometric mean of that group's
+    // ratios, so a single noisy cell cannot fail the gate but a real
+    // regression across a group's labels does.
+    let floor = 1.0 - pct / 100.0;
+    for (group, rs) in &ratios {
+        let geomean = (rs.iter().map(|r| r.ln()).sum::<f64>() / rs.len() as f64).exp();
+        let regressed = geomean < floor;
+        let verdict = if regressed { "FAIL" } else { "ok" };
+        println!(
+            "{verdict:<4} {group}: geomean ratio {geomean:.3} over {} cells (floor {floor:.2})",
+            rs.len()
+        );
+        if regressed {
+            failures += 1;
+        }
+    }
+    println!("{compared} cells compared, {failures} failures");
+    if failures > 0 {
+        eprintln!(
+            "compare_baseline: {failures} regression(s) beyond {pct}% — \
+             investigate, or regenerate bench/baseline.json if intentional"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_report_rows() {
+        let (top, cells) = parse_line(
+            r#"{"type":"row","experiment":"Figure 7 (low)","label":"threads=1","cells":{"L-Store":"0.0123","IUH":"0.0045"}}"#,
+        )
+        .unwrap();
+        assert_eq!(top.get("type").unwrap(), "row");
+        assert_eq!(top.get("label").unwrap(), "threads=1");
+        assert_eq!(cells.get("L-Store").unwrap(), "0.0123");
+        assert_eq!(cells.get("IUH").unwrap(), "0.0045");
+    }
+
+    #[test]
+    fn parses_escapes() {
+        let (top, _) =
+            parse_line(r#"{"type":"header","experiment":"a\"b\\c","caption":"x\ny"}"#).unwrap();
+        assert_eq!(top.get("experiment").unwrap(), "a\"b\\c");
+        assert_eq!(top.get("caption").unwrap(), "x\ny");
+    }
+
+    #[test]
+    fn metric_directions() {
+        assert_eq!(parse_metric("0.5"), Some((0.5, Direction::HigherIsBetter)));
+        assert_eq!(
+            parse_metric("0.1234s"),
+            Some((0.1234, Direction::LowerIsBetter))
+        );
+        assert_eq!(parse_metric("2.41x"), None);
+        assert_eq!(
+            parse_metric("inf"),
+            Some((f64::INFINITY, Direction::HigherIsBetter))
+        );
+        assert_eq!(parse_metric("n/a"), None);
+    }
+}

@@ -1,10 +1,12 @@
 //! Figure 8: single-threaded scan execution time vs the number of tail
 //! records processed per merge (merge-lag sensitivity), with 4 and 16
-//! concurrent update threads.
+//! concurrent update threads — swept across scan worker-pool widths
+//! (`BENCH_SCAN_THREADS`, default 1,4), so the merge-lag curve is visible
+//! both for sequential scans and for pool-parallel scans.
 
 use std::sync::Arc;
 
-use lstore::TableConfig;
+use lstore::{DbConfig, TableConfig};
 use lstore_baselines::{Engine, LStoreEngine};
 use lstore_bench::report::{self, secs};
 use lstore_bench::run_scan_while_updating;
@@ -20,19 +22,24 @@ fn main() {
             config.rows
         ),
     );
-    for threads in [4usize, 16] {
-        for merge_batch in [256usize, 512, 1024, 2048, 4096] {
-            let table_config = TableConfig::default()
-                .with_range_size(4096)
-                .with_merge_threshold(merge_batch);
-            let engine = Arc::new(LStoreEngine::with_config(table_config));
-            engine.populate(config.rows, config.cols);
-            let e: Arc<dyn Engine> = engine;
-            let t = run_scan_while_updating(&e, &config, threads, 3);
-            report::row(
-                &format!("threads={threads} M={merge_batch}"),
-                &[("scan", secs(t))],
-            );
+    for scan_threads in setup::scan_thread_sweep() {
+        for threads in [4usize, 16] {
+            for merge_batch in [256usize, 512, 1024, 2048, 4096] {
+                let table_config = TableConfig::default()
+                    .with_range_size(4096)
+                    .with_merge_threshold(merge_batch);
+                let engine = Arc::new(LStoreEngine::with_configs(
+                    DbConfig::new().with_scan_threads(scan_threads),
+                    table_config,
+                ));
+                engine.populate(config.rows, config.cols);
+                let e: Arc<dyn Engine> = engine;
+                let t = run_scan_while_updating(&e, &config, threads, 3);
+                report::row(
+                    &format!("st={scan_threads} threads={threads} M={merge_batch}"),
+                    &[("scan", secs(t))],
+                );
+            }
         }
     }
 }

@@ -1,14 +1,16 @@
 //! Table 7: single-threaded scan seconds for L-Store vs IUH vs DBM with 16
-//! concurrent update threads (low contention, 4K update ranges).
+//! concurrent update threads (low contention, 4K update ranges), plus the
+//! engine's `scan_threads` axis: the same L-Store scan fanned out across a
+//! worker pool of each swept width.
 
 use std::sync::Arc;
 
-use lstore::TableConfig;
+use lstore::{DbConfig, TableConfig};
 use lstore_baselines::{DbmEngine, Engine, IuhEngine, LStoreEngine};
 use lstore_bench::report::{self, secs, speedup};
-use lstore_bench::run_scan_while_updating;
 use lstore_bench::setup;
 use lstore_bench::workload::Contention;
+use lstore_bench::{run_scan_while_updating, scan_thread_axis};
 
 fn main() {
     let config = setup::workload(Contention::Low);
@@ -38,4 +40,38 @@ fn main() {
             ("vs DBM", speedup(results[2].1, results[0].1)),
         ],
     );
+
+    // The scan_threads axis: same workload, L-Store only, scan pool width
+    // swept (BENCH_SCAN_THREADS, default 1,4).
+    report::header(
+        "Table 7 (scan_threads)",
+        &format!(
+            "L-Store scan seconds vs scan pool width, 16 update threads; rows={}",
+            config.rows
+        ),
+    );
+    let widths = setup::scan_thread_sweep();
+    let axis = scan_thread_axis(
+        |w| {
+            let engine = LStoreEngine::with_configs(
+                DbConfig::new().with_scan_threads(w),
+                TableConfig::default().with_range_size(4096),
+            );
+            engine.populate(config.rows, config.cols);
+            Arc::new(engine) as Arc<dyn Engine>
+        },
+        &config,
+        &widths,
+        16,
+        3,
+    );
+    for &(w, t) in &axis {
+        report::row(&format!("scan_threads={w}"), &[("scan", secs(t))]);
+    }
+    if let (Some(&(_, seq)), Some(&(wmax, par))) = (axis.first(), axis.last()) {
+        report::row(
+            "pool speedup",
+            &[(&format!("x{wmax} vs x{}", axis[0].0), speedup(seq, par))],
+        );
+    }
 }

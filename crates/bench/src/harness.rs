@@ -166,6 +166,31 @@ pub fn run_mixed(
     }
 }
 
+/// Sweep scan worker-pool widths for one engine family: `build(width)`
+/// constructs and populates an engine whose scans fan out across `width`
+/// threads; each variant's mean full-scan seconds are measured under
+/// `update_threads` concurrent writers (the `scan_threads` axis of Fig. 8 /
+/// Table 7). Returns `(width, mean_scan_seconds)` in sweep order.
+pub fn scan_thread_axis<B>(
+    build: B,
+    config: &WorkloadConfig,
+    widths: &[usize],
+    update_threads: usize,
+    scan_iterations: usize,
+) -> Vec<(usize, f64)>
+where
+    B: Fn(usize) -> Arc<dyn Engine>,
+{
+    widths
+        .iter()
+        .map(|&w| {
+            let engine = build(w);
+            let secs = run_scan_while_updating(&engine, config, update_threads, scan_iterations);
+            (w, secs)
+        })
+        .collect()
+}
+
 /// Measure single-threaded scan latency while `update_threads` writers run
 /// (Fig. 8 / Table 7): returns mean seconds per full-active-set scan.
 pub fn run_scan_while_updating(

@@ -22,6 +22,7 @@ pub mod setup;
 pub mod workload;
 
 pub use harness::{
-    run_mixed, run_scan_while_updating, run_throughput, MixedResult, ThroughputResult,
+    run_mixed, run_scan_while_updating, run_throughput, scan_thread_axis, MixedResult,
+    ThroughputResult,
 };
 pub use workload::{Contention, Workload, WorkloadConfig};

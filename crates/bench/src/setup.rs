@@ -33,6 +33,16 @@ pub fn thread_sweep() -> Vec<usize> {
         .unwrap_or_else(|| vec![1, 2, 4, 8])
 }
 
+/// Scan worker-pool widths to sweep (env `BENCH_SCAN_THREADS`,
+/// comma-separated; default `1,4` — sequential baseline vs a 4-wide pool).
+pub fn scan_thread_sweep() -> Vec<usize> {
+    std::env::var("BENCH_SCAN_THREADS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 4])
+}
+
 /// Build a populated engine of each architecture for `config`.
 pub fn all_engines(config: &WorkloadConfig) -> Vec<Arc<dyn Engine>> {
     let engines: Vec<Arc<dyn Engine>> = vec![

@@ -101,6 +101,11 @@ pub struct DbConfig {
     /// Spawn the background merge daemon (Fig. 5's merge thread). Disable
     /// for single-threaded deterministic tests that call `merge_now`.
     pub background_merge: bool,
+    /// Width of the shared scan worker pool: how many threads a single
+    /// analytical query (`sum_as_of`, `scan_as_of`, `group_by_sum`, …) may
+    /// fan out across. `1` keeps scans strictly sequential on the calling
+    /// thread; the pool is spawned lazily on the first parallel scan.
+    pub scan_threads: usize,
 }
 
 impl Default for DbConfig {
@@ -110,21 +115,27 @@ impl Default for DbConfig {
 }
 
 impl DbConfig {
-    /// In-memory database with a live merge daemon (the common case).
+    /// In-memory database with a live merge daemon (the common case). Scans
+    /// fan out across all available cores.
     pub fn new() -> Self {
         DbConfig {
             wal_path: None,
             sync_on_commit: false,
             background_merge: true,
+            scan_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 
-    /// Deterministic configuration: no daemon, merges run only on demand.
+    /// Deterministic configuration: no daemon, merges run only on demand,
+    /// scans stay sequential (`scan_threads = 1`).
     pub fn deterministic() -> Self {
         DbConfig {
             wal_path: None,
             sync_on_commit: false,
             background_merge: false,
+            scan_threads: 1,
         }
     }
 
@@ -132,6 +143,12 @@ impl DbConfig {
     pub fn with_wal(mut self, path: PathBuf, sync_on_commit: bool) -> Self {
         self.wal_path = Some(path);
         self.sync_on_commit = sync_on_commit;
+        self
+    }
+
+    /// Set the scan worker-pool width (clamped to ≥ 1).
+    pub fn with_scan_threads(mut self, scan_threads: usize) -> Self {
+        self.scan_threads = scan_threads.max(1);
         self
     }
 }

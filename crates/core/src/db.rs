@@ -8,7 +8,7 @@
 //! thread continuously takes pages from the queue and processes them").
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -20,6 +20,7 @@ use lstore_wal::{LogRecord, Wal, WalConfig};
 
 use crate::config::{DbConfig, TableConfig};
 use crate::error::{Error, Result};
+use crate::pool::ScanPool;
 use crate::table::Table;
 
 /// A merge request: table + range (the "merge queue" of Fig. 5).
@@ -40,6 +41,11 @@ pub struct Runtime {
     /// Optional redo-only WAL.
     pub wal: Option<Arc<Wal>>,
     merge_tx: Mutex<Option<Sender<MergeMsg>>>,
+    /// Configured scan fan-out width (`DbConfig::scan_threads`).
+    scan_threads: usize,
+    /// Shared scan worker pool, spawned lazily on the first parallel scan so
+    /// purely transactional databases never pay for idle scan threads.
+    scan_pool: OnceLock<Option<ScanPool>>,
 }
 
 impl Runtime {
@@ -49,6 +55,21 @@ impl Runtime {
             Some(tx) => tx.send(MergeMsg::Merge { table_id, range_id }).is_ok(),
             None => false,
         }
+    }
+
+    /// The shared scan pool, or `None` when `scan_threads <= 1`. First call
+    /// spawns the workers, so callers should check that there is actually
+    /// work to split before asking for the pool.
+    pub(crate) fn scan_pool(&self) -> Option<&ScanPool> {
+        self.scan_pool
+            .get_or_init(|| ScanPool::for_width(self.scan_threads))
+            .as_ref()
+    }
+
+    /// Configured fan-out width — how many partitions a scan should plan
+    /// for. Does not spawn the pool.
+    pub(crate) fn scan_width(&self) -> usize {
+        self.scan_threads
     }
 }
 
@@ -82,6 +103,8 @@ impl Database {
             epoch: EpochManager::new(),
             wal,
             merge_tx: Mutex::new(None),
+            scan_threads: config.scan_threads.max(1),
+            scan_pool: OnceLock::new(),
         });
         let db = Arc::new(Database {
             runtime,

@@ -49,6 +49,7 @@ pub mod db;
 pub mod error;
 pub mod historic;
 pub mod merge;
+pub mod pool;
 pub mod range;
 pub mod read;
 pub mod replay;

@@ -1,0 +1,233 @@
+//! Shared worker pool for parallel analytical scans.
+//!
+//! The paper's evaluation runs "(at least) one scan thread" (§6.1); the
+//! engine itself, however, can execute a *single* scan on many cores: the
+//! epoch discipline of §4.1.1 makes per-range work embarrassingly parallel
+//! (each range's base version is an immutable snapshot, and outdated pages
+//! survive until every pinned reader drains). The pool is shared by all
+//! tables of a database and sized by [`crate::DbConfig::scan_threads`].
+//!
+//! Workers are long-lived threads consuming closures from an unbounded MPMC
+//! channel. [`ScanPool::run`] fans a batch of tasks out, runs the first task
+//! on the calling thread (the caller is a core too), and blocks until every
+//! task finished — which is what makes handing non-`'static` borrows to the
+//! workers sound: no task can outlive the call that lent it the borrow.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+
+/// A type-erased unit of pool work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed-size pool of scan worker threads.
+pub struct ScanPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Countdown latch: `run` waits until all fanned-out tasks reported in.
+struct WaitGroup {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl WaitGroup {
+    fn new(count: usize) -> Self {
+        WaitGroup {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn finish_one(&self) {
+        let mut remaining = self.remaining.lock().expect("waitgroup poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().expect("waitgroup poisoned");
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).expect("waitgroup poisoned");
+        }
+    }
+}
+
+impl ScanPool {
+    /// Spawn a pool with `workers` worker threads (callers contribute their
+    /// own thread in [`ScanPool::run`], so total parallelism is
+    /// `workers + 1`).
+    fn new(workers: usize) -> ScanPool {
+        let (tx, rx) = unbounded::<Job>();
+        let workers = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("lstore-scan-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                        }
+                    })
+                    .expect("spawn scan worker")
+            })
+            .collect();
+        ScanPool {
+            tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// Pool for a configured `scan_threads` width: `None` when one thread
+    /// (the caller itself) is all the configuration asks for.
+    pub fn for_width(scan_threads: usize) -> Option<ScanPool> {
+        if scan_threads <= 1 {
+            None
+        } else {
+            // The calling thread executes one partition itself.
+            Some(ScanPool::new(scan_threads - 1))
+        }
+    }
+
+    /// Number of threads a fan-out can use, counting the caller.
+    pub fn width(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Execute `tasks` across the pool plus the calling thread, returning
+    /// the results in task order. Blocks until every task completed; a
+    /// panicking task is resumed on the caller after all tasks drained.
+    pub fn run<R, F>(&self, mut tasks: Vec<F>) -> Vec<R>
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        let first = tasks.remove(0);
+        let n = tasks.len();
+        let slots: Vec<Mutex<Option<std::thread::Result<R>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let wg = WaitGroup::new(n);
+        {
+            let slots = &slots;
+            let wg = &wg;
+            for (i, task) in tasks.into_iter().enumerate() {
+                let job = Box::new(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(task));
+                    *slots[i].lock().expect("slot poisoned") = Some(outcome);
+                    wg.finish_one();
+                });
+                // SAFETY: the job borrows `slots`, `wg`, and whatever the
+                // caller's task closures borrow. `wg.wait()` below does not
+                // return until every submitted job has run to completion, so
+                // none of those borrows can dangle; the lifetime erasure is
+                // confined to this block.
+                let job: Job =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
+                if let Err(rejected) = self.tx.as_ref().expect("pool running").send(job) {
+                    // Workers already shut down (database dropping): run the
+                    // job inline so the wait group still reaches zero.
+                    (rejected.0)();
+                }
+            }
+            // The caller is the first worker, not an idle waiter.
+            let first_outcome = catch_unwind(AssertUnwindSafe(first));
+            wg.wait();
+            let mut results = Vec::with_capacity(n + 1);
+            results.push(first_outcome);
+            for slot in slots.iter() {
+                results.push(
+                    slot.lock()
+                        .expect("slot poisoned")
+                        .take()
+                        .expect("task completed"),
+                );
+            }
+            results
+                .into_iter()
+                .map(|r| match r {
+                    Ok(v) => v,
+                    Err(payload) => resume_unwind(payload),
+                })
+                .collect()
+        }
+    }
+}
+
+impl Drop for ScanPool {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // disconnect: workers drain and exit
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_keep_task_order() {
+        let pool = ScanPool::for_width(4).expect("pool");
+        assert_eq!(pool.width(), 4);
+        let tasks: Vec<_> = (0..16u64).map(|i| move || i * i).collect();
+        let got = pool.run(tasks);
+        assert_eq!(got, (0..16u64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tasks_can_borrow_caller_state() {
+        let pool = ScanPool::for_width(3).expect("pool");
+        let data: Vec<u64> = (0..1000).collect();
+        let tasks: Vec<_> = data
+            .chunks(250)
+            .map(|chunk| move || chunk.iter().sum::<u64>())
+            .collect();
+        let total: u64 = pool.run(tasks).into_iter().sum();
+        assert_eq!(total, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn pool_is_reusable_and_shared() {
+        let pool = std::sync::Arc::new(ScanPool::for_width(2).expect("pool"));
+        let hits = AtomicUsize::new(0);
+        for _ in 0..10 {
+            let tasks: Vec<_> = (0..4)
+                .map(|_| || hits.fetch_add(1, Ordering::Relaxed))
+                .collect();
+            pool.run(tasks);
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn width_one_request_needs_no_pool() {
+        assert!(ScanPool::for_width(0).is_none());
+        assert!(ScanPool::for_width(1).is_none());
+    }
+
+    #[test]
+    fn task_panic_propagates_after_drain() {
+        let pool = ScanPool::for_width(2).expect("pool");
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = vec![
+                Box::new(|| 1),
+                Box::new(|| panic!("scan worker exploded")),
+                Box::new(|| 3),
+            ];
+            pool.run(tasks)
+        }));
+        assert!(caught.is_err());
+        // Pool still serviceable after the panic drained.
+        assert_eq!(pool.run(vec![|| 7u64, || 8u64]), vec![7, 8]);
+    }
+}

@@ -7,6 +7,20 @@
 //! until it drains, §4.1.1 step 5), snapshots each range's base version
 //! once, and reads each slot through the TPS fast path, falling back to the
 //! version chain only for records whose updates outrun the merge.
+//!
+//! Every analytical entry point fans its per-range work out across the
+//! shared scan worker pool ([`crate::pool::ScanPool`], sized by
+//! `DbConfig::scan_threads`): ranges partition the table into disjoint
+//! record sets whose base versions are immutable snapshots, so per-range
+//! partial aggregates combine without any synchronization — the epoch
+//! discipline makes the fan-out embarrassingly parallel. Each worker clones
+//! the scan's epoch guard (pinning the same window) and snapshots its
+//! ranges' `BaseVersion`s exactly as the sequential path does; with
+//! `scan_threads = 1` (the `DbConfig::deterministic()` setting) every scan
+//! stays strictly sequential on the calling thread.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::range::{BaseData, BaseVersion, UpdateRange};
 use crate::read::{ReadMode, Resolved};
@@ -48,20 +62,29 @@ impl Table {
     }
 
     /// SUM over a value column at snapshot `ts` (wrapping arithmetic, as
-    /// deleted/invisible records contribute nothing).
+    /// deleted/invisible records contribute nothing). Fans out across the
+    /// scan pool, one partial sum per contiguous chunk of ranges.
     pub fn sum_as_of(&self, user_col: usize, ts: u64) -> u64 {
         let col = user_col + 1;
-        let _guard = self.runtime.epoch.pin();
+        let guard = self.runtime.epoch.pin();
+        let ranges = self.all_ranges();
+        self.scan_fanout(&ranges, &guard, |chunk| self.sum_ranges(chunk, col, ts))
+            .into_iter()
+            .fold(0u64, u64::wrapping_add)
+    }
+
+    /// Sequential partial SUM over one chunk of ranges (one worker's share).
+    fn sum_ranges(&self, ranges: &[Arc<UpdateRange>], col: usize, ts: u64) -> u64 {
         let mode = ReadMode::as_of(ts);
         let mut sum = 0u64;
-        for range in self.all_ranges() {
+        for range in ranges {
             let base = range.base();
-            if let Some(page) = clean_range_page(&range, &base, col, ts) {
+            if let Some(page) = clean_range_page(range, &base, col, ts) {
                 sum = sum.wrapping_add(page.sum());
                 continue;
             }
-            let reader = self.reader(&range, &base);
-            let slots = self.occupied_slots(&range, &base);
+            let reader = self.reader(range, &base);
+            let slots = self.occupied_slots(range, &base);
             for slot in 0..slots {
                 if let Some(v) = reader.read_column(slot, col, mode) {
                     sum = sum.wrapping_add(v);
@@ -71,6 +94,111 @@ impl Table {
         sum
     }
 
+    /// SUM over several value columns at once at snapshot `ts`: one table
+    /// pass producing one total per requested column. Columns whose ranges
+    /// are fully merged within the snapshot are folded straight off their
+    /// compressed base pages; the rest resolve through the version chain at
+    /// the same snapshot, so the totals are mutually consistent.
+    pub fn sum_cols_as_of(&self, user_cols: &[usize], ts: u64) -> Vec<u64> {
+        let cols: Vec<usize> = user_cols.iter().map(|&c| c + 1).collect();
+        let guard = self.runtime.epoch.pin();
+        let ranges = self.all_ranges();
+        let partials = self.scan_fanout(&ranges, &guard, |chunk| {
+            self.sum_cols_ranges(chunk, &cols, ts)
+        });
+        let mut totals = vec![0u64; cols.len()];
+        for partial in partials {
+            for (t, p) in totals.iter_mut().zip(partial) {
+                *t = t.wrapping_add(p);
+            }
+        }
+        totals
+    }
+
+    /// Per-chunk partial sums for `sum_cols_as_of`, in `cols` order.
+    fn sum_cols_ranges(&self, ranges: &[Arc<UpdateRange>], cols: &[usize], ts: u64) -> Vec<u64> {
+        let mode = ReadMode::as_of(ts);
+        let mut sums = vec![0u64; cols.len()];
+        for range in ranges {
+            let base = range.base();
+            // Split the columns of this range into page-summable and
+            // chain-resolved; a single slot walk covers all of the latter.
+            let mut chain_cols: Vec<(usize, usize)> = Vec::new(); // (output, col)
+            for (out, &col) in cols.iter().enumerate() {
+                if let Some(page) = clean_range_page(range, &base, col, ts) {
+                    sums[out] = sums[out].wrapping_add(page.sum());
+                } else {
+                    chain_cols.push((out, col));
+                }
+            }
+            if chain_cols.is_empty() {
+                continue;
+            }
+            let request: Vec<usize> = chain_cols.iter().map(|&(_, c)| c).collect();
+            let reader = self.reader(range, &base);
+            let slots = self.occupied_slots(range, &base);
+            for slot in 0..slots {
+                if let Resolved::Visible { values, .. } = reader.read_record(slot, &request, mode) {
+                    for ((out, _), v) in chain_cols.iter().zip(values) {
+                        sums[*out] = sums[*out].wrapping_add(v);
+                    }
+                }
+            }
+        }
+        sums
+    }
+
+    /// GROUP BY one value column, SUM another, at snapshot `ts`. Workers
+    /// build per-chunk partial maps that merge associatively, so the result
+    /// is identical for every pool width.
+    pub fn group_by_sum(
+        &self,
+        group_user_col: usize,
+        value_user_col: usize,
+        ts: u64,
+    ) -> BTreeMap<u64, u64> {
+        let gcol = group_user_col + 1;
+        let vcol = value_user_col + 1;
+        let guard = self.runtime.epoch.pin();
+        let ranges = self.all_ranges();
+        let partials = self.scan_fanout(&ranges, &guard, |chunk| {
+            self.group_ranges(chunk, gcol, vcol, ts)
+        });
+        let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
+        for partial in partials {
+            for (k, v) in partial {
+                let slot = merged.entry(k).or_insert(0);
+                *slot = slot.wrapping_add(v);
+            }
+        }
+        merged
+    }
+
+    /// Per-chunk partial GROUP BY/SUM map.
+    fn group_ranges(
+        &self,
+        ranges: &[Arc<UpdateRange>],
+        gcol: usize,
+        vcol: usize,
+        ts: u64,
+    ) -> BTreeMap<u64, u64> {
+        let mode = ReadMode::as_of(ts);
+        let request = [gcol, vcol];
+        let mut groups: BTreeMap<u64, u64> = BTreeMap::new();
+        for range in ranges {
+            let base = range.base();
+            let reader = self.reader(range, &base);
+            let slots = self.occupied_slots(range, &base);
+            for slot in 0..slots {
+                if let Resolved::Visible { values, .. } = reader.read_record(slot, &request, mode) {
+                    let slot = groups.entry(values[0]).or_insert(0);
+                    *slot = slot.wrapping_add(values[1]);
+                }
+            }
+        }
+        groups
+    }
+
     /// SUM over a value column at the current snapshot.
     pub fn sum_auto(&self, user_col: usize) -> u64 {
         self.sum_as_of(user_col, self.now())
@@ -78,11 +206,42 @@ impl Table {
 
     /// SUM over a value column restricted to keys in `[key_lo, key_hi]` via
     /// the primary index — the paper's partial scans "up to 10% of the data"
-    /// (§6.1).
+    /// (§6.1). The key interval splits into contiguous sub-intervals, one
+    /// per pool thread.
     pub fn sum_key_range(&self, user_col: usize, key_lo: u64, key_hi: u64, ts: u64) -> u64 {
+        if key_hi < key_lo {
+            return 0;
+        }
         let col = user_col + 1;
-        let _guard = self.runtime.epoch.pin();
+        let guard = self.runtime.epoch.pin();
         let mode = ReadMode::as_of(ts);
+        // One sub-interval per configured width; saturating, so a
+        // full-domain interval still partitions correctly (the loop is
+        // bounded by `key_hi`, not by span).
+        let span = (key_hi - key_lo).saturating_add(1);
+        let width = (self.runtime.scan_width() as u64).min(span).max(1);
+        let per = span.div_ceil(width);
+        let mut bounds = Vec::with_capacity(width as usize);
+        let mut lo = key_lo;
+        loop {
+            let hi = key_hi.min(lo.saturating_add(per - 1));
+            bounds.push((lo, hi));
+            if hi == key_hi {
+                break;
+            }
+            lo = hi + 1;
+        }
+        self.scan_fanout(&bounds, &guard, |chunk| {
+            chunk.iter().fold(0u64, |acc, &(lo, hi)| {
+                acc.wrapping_add(self.sum_keys(col, lo, hi, mode))
+            })
+        })
+        .into_iter()
+        .fold(0u64, u64::wrapping_add)
+    }
+
+    /// Sequential keyed partial SUM over `[key_lo, key_hi]`.
+    fn sum_keys(&self, col: usize, key_lo: u64, key_hi: u64, mode: ReadMode) -> u64 {
         let mut sum = 0u64;
         // Keys are usually clustered per range; reuse the last (range, base)
         // snapshot across consecutive keys instead of re-resolving it.
@@ -114,7 +273,9 @@ impl Table {
     /// RID-ordered partial scan: SUM `user_col` over `count` consecutive
     /// record slots starting at `start` (crossing range boundaries). This is
     /// how a columnar engine scans a segment of the table — no per-record
-    /// index lookups (§6.1's "scan up to 10% of the data").
+    /// index lookups (§6.1's "scan up to 10% of the data"). The span is
+    /// pre-split at range boundaries and the per-range sub-spans fan out
+    /// across the pool.
     pub fn sum_rid_span(
         &self,
         start: crate::rid::Rid,
@@ -123,9 +284,9 @@ impl Table {
         ts: u64,
     ) -> u64 {
         let col = user_col + 1;
-        let _guard = self.runtime.epoch.pin();
-        let mode = ReadMode::as_of(ts);
-        let mut sum = 0u64;
+        let guard = self.runtime.epoch.pin();
+        // Plan: (range, first slot, records to take) per covered range.
+        let mut spans: Vec<(Arc<UpdateRange>, u32, u64)> = Vec::new();
         let mut remaining = count;
         let mut range_id = start.range();
         let mut slot = start.slot();
@@ -134,38 +295,61 @@ impl Table {
             let range = self.range(range_id);
             let base = range.base();
             let slots = self.occupied_slots(&range, &base);
-            // Whole-range coverage: sum the compressed page directly.
-            if slot == 0 && remaining >= slots as u64 {
-                if let Some(page) = clean_range_page(&range, &base, col, ts) {
-                    sum = sum.wrapping_add(page.sum());
-                    remaining -= slots as u64;
-                    range_id += 1;
-                    continue;
-                }
-            }
-            let reader = self.reader(&range, &base);
-            while slot < slots && remaining > 0 {
-                if let Some(v) = reader.read_column(slot, col, mode) {
-                    sum = sum.wrapping_add(v);
-                }
-                slot += 1;
-                remaining -= 1;
+            if slot < slots {
+                let take = remaining.min((slots - slot) as u64);
+                spans.push((range, slot, take));
+                remaining -= take;
             }
             range_id += 1;
             slot = 0;
+        }
+        self.scan_fanout(&spans, &guard, |chunk| self.sum_spans(chunk, col, ts))
+            .into_iter()
+            .fold(0u64, u64::wrapping_add)
+    }
+
+    /// Partial SUM over one chunk of per-range sub-spans.
+    fn sum_spans(&self, spans: &[(Arc<UpdateRange>, u32, u64)], col: usize, ts: u64) -> u64 {
+        let mode = ReadMode::as_of(ts);
+        let mut sum = 0u64;
+        for (range, first, take) in spans {
+            let base = range.base();
+            let slots = self.occupied_slots(range, &base);
+            // Whole-range coverage: sum the compressed page directly.
+            if *first == 0 && *take >= slots as u64 {
+                if let Some(page) = clean_range_page(range, &base, col, ts) {
+                    sum = sum.wrapping_add(page.sum());
+                    continue;
+                }
+            }
+            let reader = self.reader(range, &base);
+            let end = ((*first as u64 + take).min(slots as u64)) as u32;
+            for slot in *first..end {
+                if let Some(v) = reader.read_column(slot, col, mode) {
+                    sum = sum.wrapping_add(v);
+                }
+            }
         }
         sum
     }
 
     /// Count visible records at snapshot `ts`.
     pub fn count_as_of(&self, ts: u64) -> u64 {
-        let _guard = self.runtime.epoch.pin();
+        let guard = self.runtime.epoch.pin();
+        let ranges = self.all_ranges();
+        self.scan_fanout(&ranges, &guard, |chunk| self.count_ranges(chunk, ts))
+            .into_iter()
+            .sum()
+    }
+
+    /// Partial visible-record count over one chunk of ranges.
+    fn count_ranges(&self, ranges: &[Arc<UpdateRange>], ts: u64) -> u64 {
         let mode = ReadMode::as_of(ts);
         let mut n = 0u64;
-        for range in self.all_ranges() {
+        for range in ranges {
             let base = range.base();
-            let reader = self.reader(&range, &base);
-            let slots = self.occupied_slots(&range, &base);
+            let reader = self.reader(range, &base);
+            let slots = self.occupied_slots(range, &base);
             for slot in 0..slots {
                 if reader.read_column(slot, 0, mode).is_some() {
                     n += 1;
@@ -175,20 +359,40 @@ impl Table {
         n
     }
 
-    /// Full scan: visible `(key, value-columns)` rows at snapshot `ts`.
+    /// Full scan: visible `(key, value-columns)` rows at snapshot `ts`, in
+    /// RID order (partial results concatenate chunk-by-chunk in range
+    /// order, so the row order matches the sequential scan exactly).
     pub fn scan_as_of(&self, user_cols: &[usize], ts: u64) -> Vec<(u64, Vec<u64>)> {
         let cols: Vec<usize> = user_cols.iter().map(|&c| c + 1).collect();
         let mut request = vec![0usize]; // key first
         request.extend_from_slice(&cols);
-        let _guard = self.runtime.epoch.pin();
+        let guard = self.runtime.epoch.pin();
+        let ranges = self.all_ranges();
+        let partials = self.scan_fanout(&ranges, &guard, |chunk| {
+            self.collect_ranges(chunk, &request, ts)
+        });
+        let mut out = Vec::with_capacity(partials.iter().map(Vec::len).sum());
+        for partial in partials {
+            out.extend(partial);
+        }
+        out
+    }
+
+    /// Partial row materialization over one chunk of ranges.
+    fn collect_ranges(
+        &self,
+        ranges: &[Arc<UpdateRange>],
+        request: &[usize],
+        ts: u64,
+    ) -> Vec<(u64, Vec<u64>)> {
         let mode = ReadMode::as_of(ts);
         let mut out = Vec::new();
-        for range in self.all_ranges() {
+        for range in ranges {
             let base = range.base();
-            let reader = self.reader(&range, &base);
-            let slots = self.occupied_slots(&range, &base);
+            let reader = self.reader(range, &base);
+            let slots = self.occupied_slots(range, &base);
             for slot in 0..slots {
-                if let Resolved::Visible { values, .. } = reader.read_record(slot, &request, mode) {
+                if let Resolved::Visible { values, .. } = reader.read_record(slot, request, mode) {
                     out.push((values[0], values[1..].to_vec()));
                 }
             }

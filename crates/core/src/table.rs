@@ -136,6 +136,46 @@ impl Table {
         self.ranges.read().clone()
     }
 
+    /// Fan a per-chunk fold across the shared scan pool: `fold` runs once
+    /// per contiguous chunk of `items` (update-range handles, per-range
+    /// sub-spans, …), concurrently, and the partial results come back in
+    /// item order. Every worker re-pins the calling scan's epoch (by
+    /// cloning its guard) before touching any base pages, so pages retired
+    /// mid-scan survive until the last worker drains (§4.1.1 step 5).
+    /// Falls back to one inline call when the database was configured with
+    /// `scan_threads = 1` or there is nothing to split.
+    pub(crate) fn scan_fanout<T, R, F>(
+        &self,
+        items: &[T],
+        guard: &lstore_storage::epoch::EpochGuard,
+        fold: F,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        F: Fn(&[T]) -> R + Sync,
+        R: Send,
+    {
+        if items.len() <= 1 {
+            return vec![fold(items)]; // nothing to split: don't spawn the pool
+        }
+        let Some(pool) = self.runtime.scan_pool() else {
+            return vec![fold(items)];
+        };
+        let chunk = items.len().div_ceil(pool.width());
+        let fold = &fold;
+        let tasks: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| {
+                let pin = guard.clone();
+                move || {
+                    let _pin = pin;
+                    fold(slice)
+                }
+            })
+            .collect();
+        pool.run(tasks)
+    }
+
     /// Map a public value-column index to the internal data-column index.
     #[inline]
     fn internal_col(&self, user_col: usize) -> Result<usize> {

@@ -186,7 +186,7 @@ pub mod strategy {
         (A.0, B.1, C.2, D.3)
     }
 
-    /// Weighted choice among boxed strategies ([`prop_oneof!`]).
+    /// Weighted choice among boxed strategies (`prop_oneof!`).
     pub struct WeightedUnion<T> {
         arms: Vec<(u32, BoxedStrategy<T>)>,
         total: u64,
@@ -256,7 +256,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// Output of [`vec`].
+    /// Output of [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         len: core::ops::Range<usize>,

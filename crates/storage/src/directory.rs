@@ -6,7 +6,7 @@
 //! (§4.1.1 step 4). Readers resolve an entry to an `Arc` snapshot and then
 //! never touch the directory again for that access, so the swap is a single
 //! short write-locked pointer store per entry — equivalent to the paper's
-//! "every affected page in the page directory [is] latched one at a time to
+//! "every affected page in the page directory \[is\] latched one at a time to
 //! perform the pointer swap" (§5.1.2).
 
 use parking_lot::RwLock;

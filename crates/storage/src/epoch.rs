@@ -132,6 +132,20 @@ impl EpochGuard {
     }
 }
 
+impl Clone for EpochGuard {
+    /// Re-pin the *same* epoch as the original guard. Parallel scan workers
+    /// clone the scan's guard so every thread of one query shares one epoch
+    /// window: pages retired after the scan began stay alive until the last
+    /// worker drains, exactly as for a single-threaded reader.
+    fn clone(&self) -> Self {
+        *self.inner.active.lock().entry(self.epoch).or_insert(0) += 1;
+        EpochGuard {
+            inner: Arc::clone(&self.inner),
+            epoch: self.epoch,
+        }
+    }
+}
+
 impl Drop for EpochGuard {
     fn drop(&mut self) {
         let mut active = self.inner.active.lock();
@@ -193,6 +207,25 @@ mod tests {
         assert_eq!(em.pending(), 0);
         let (retired, reclaimed) = em.stats();
         assert_eq!((retired, reclaimed), (10, 10));
+    }
+
+    #[test]
+    fn cloned_guard_keeps_the_window_pinned() {
+        let em = EpochManager::new();
+        let dropped = Arc::new(AtomicBool::new(false));
+
+        let scan = em.pin();
+        let worker = scan.clone(); // same epoch, second pin
+        assert_eq!(scan.epoch(), worker.epoch());
+        em.retire(Tracked(Arc::clone(&dropped)));
+
+        drop(scan); // the coordinating thread finishes first
+        assert_eq!(em.try_reclaim(), 0, "cloned worker guard still pins");
+        assert!(!dropped.load(Ordering::SeqCst));
+
+        drop(worker);
+        assert_eq!(em.try_reclaim(), 1);
+        assert!(dropped.load(Ordering::SeqCst));
     }
 
     #[test]

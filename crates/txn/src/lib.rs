@@ -4,8 +4,8 @@
 //!
 //! L-Store "is agnostic to the underlying concurrency protocol"; the paper's
 //! prototype uses the optimistic multi-version model of Sadoghi et al.
-//! (VLDB'14, [33]) with the speculative reads of Larson et al. (VLDB'11,
-//! [18]). This crate provides those pieces independent of storage:
+//! (VLDB'14, \[33\]) with the speculative reads of Larson et al. (VLDB'11,
+//! \[18\]). This crate provides those pieces independent of storage:
 //!
 //! * [`clock::GlobalClock`] — the synchronized clock ("time is advanced
 //!   before it is returned") issuing begin and commit timestamps.

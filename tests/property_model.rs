@@ -139,6 +139,67 @@ proptest! {
         }
     }
 
+    /// Scan-pool width is invisible to results: replaying one random
+    /// operation sequence into databases configured with `scan_threads` of
+    /// 1, 2, and 8 produces byte-identical `sum_as_of`, `sum_cols_as_of`,
+    /// `count_as_of`, `group_by_sum`, and `scan_as_of` answers (the
+    /// parallel fan-out is a pure execution strategy).
+    #[test]
+    fn scan_threads_produce_identical_aggregates(
+        ops in prop::collection::vec(op_strategy(), 1..100)
+    ) {
+        let dbs: Vec<_> = [1usize, 2, 8]
+            .iter()
+            .map(|&w| {
+                let db = Database::new(DbConfig::deterministic().with_scan_threads(w));
+                let t = db
+                    .create_table("widths", &["c0", "c1", "c2"], TableConfig::small())
+                    .unwrap();
+                (db, t)
+            })
+            .collect();
+
+        // Replay the identical sequence into every database.
+        for op in &ops {
+            for (_, t) in &dbs {
+                match op {
+                    Op::Insert { key, values } => {
+                        let _ = t.insert_auto(*key, values);
+                    }
+                    Op::Update { key, col, value } => {
+                        let _ = t.update_auto(*key, &[(*col, *value)]);
+                    }
+                    Op::Delete { key } => {
+                        let _ = t.delete_auto(*key);
+                    }
+                    Op::Merge => {
+                        t.merge_all();
+                    }
+                    Op::CompressHistoric | Op::Snapshot => {}
+                }
+            }
+        }
+
+        // Aggregate at each database's own "now": the op replay is
+        // deterministic, so all three must agree exactly.
+        let answers: Vec<_> = dbs
+            .iter()
+            .map(|(_, t)| {
+                let ts = t.now();
+                (
+                    t.sum_as_of(0, ts),
+                    t.sum_cols_as_of(&[0, 1, 2], ts),
+                    t.count_as_of(ts),
+                    t.group_by_sum(1, 0, ts),
+                    t.scan_as_of(&[0, 1, 2], ts),
+                    t.sum_key_range(0, 0, 39, ts), // key-partitioned fan-out
+                )
+            })
+            .collect();
+        prop_assert_eq!(&answers[0], &answers[1], "scan_threads 1 vs 2");
+        prop_assert_eq!(&answers[0], &answers[2], "scan_threads 1 vs 8");
+    }
+
     /// The row-layout variant agrees with a model on latest state.
     #[test]
     fn row_table_matches_model(
