@@ -25,15 +25,20 @@ impl LStoreEngine {
     }
 
     /// Create with a custom table configuration. Scans stay sequential
-    /// (`scan_threads = 1`), matching the paper's evaluation setting of one
-    /// scan thread (§6.1) so cross-engine comparisons measure the same
-    /// thing; use [`Self::with_configs`] to give the engine a scan pool.
+    /// (`scan_threads = 1`) and the table keeps a single key-range shard
+    /// (`shards = 1`), matching the paper's evaluation setting of one scan
+    /// thread against one table (§6.1) so cross-engine comparisons measure
+    /// the same thing; use [`Self::with_configs`] to give the engine a scan
+    /// pool and/or writer shards.
     pub fn with_config(table_config: TableConfig) -> Self {
-        Self::with_configs(DbConfig::new().with_scan_threads(1), table_config)
+        Self::with_configs(
+            DbConfig::new().with_scan_threads(1).with_shards(1),
+            table_config,
+        )
     }
 
     /// Create with custom database and table configurations (the
-    /// `scan_threads` axis of the scan benchmarks enters here).
+    /// `scan_threads` and `shards` axes of the benchmarks enter here).
     pub fn with_configs(db_config: DbConfig, table_config: TableConfig) -> Self {
         LStoreEngine {
             db: Database::new(db_config),

@@ -169,11 +169,16 @@ fn parse_metric(value: &str) -> Option<(f64, Direction)> {
         .map(|n| (n, Direction::HigherIsBetter))
 }
 
-/// Load every comparable measurement from one JSONL report. Repeated cells
-/// (the same experiment re-run, appended to one file) collapse to their
-/// median.
+/// Load every comparable measurement from one JSONL report file.
 fn load(path: &str) -> Result<BTreeMap<Key, (f64, Direction)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    load_str(&text, path)
+}
+
+/// Load every comparable measurement from JSONL report text. Repeated cells
+/// (the same experiment re-run, appended to one file) collapse to their
+/// median.
+fn load_str(text: &str, path: &str) -> Result<BTreeMap<Key, (f64, Direction)>, String> {
     let mut samples: BTreeMap<Key, (Vec<f64>, Direction)> = BTreeMap::new();
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
         let Some((top, cells)) = parse_line(line) else {
@@ -220,28 +225,35 @@ fn env_or(name: &str, default: &str) -> String {
         .unwrap_or_else(|| default.into())
 }
 
-fn main() -> ExitCode {
-    let baseline_path = env_or("BENCH_BASELINE", "bench/baseline.json");
-    let current_path = env_or("BENCH_CURRENT", "BENCH_fig7_scalability.json");
-    let pct: f64 = env_or("BENCH_REGRESSION_PCT", "30").parse().unwrap_or(30.0);
-    let allow_missing = env_or("BENCH_BASELINE_ALLOW_MISSING", "0") == "1";
-    let normalize = env_or("BENCH_NORMALIZE", "0") == "1";
+/// Gate knobs (the `BENCH_*` environment in `main`).
+#[derive(Debug, Clone, Copy)]
+struct GateOptions {
+    /// Allowed regression in percent.
+    pct: f64,
+    /// Tolerate baseline cells absent from the current report.
+    allow_missing: bool,
+    /// Divide every ratio by the run-wide median before judging
+    /// (`BENCH_NORMALIZE=1` hardware calibration).
+    normalize: bool,
+}
 
-    let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
-        (Ok(b), Ok(c)) => (b, c),
-        (b, c) => {
-            for err in [b.err(), c.err()].into_iter().flatten() {
-                eprintln!("compare_baseline: {err}");
-            }
-            return ExitCode::FAILURE;
-        }
-    };
-    if baseline.is_empty() {
-        eprintln!("compare_baseline: no comparable rows in {baseline_path}");
-        return ExitCode::FAILURE;
-    }
+/// Gate outcome: what was compared and what failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GateOutcome {
+    /// Cells present on both sides and numerically comparable.
+    compared: usize,
+    /// Missing-cell failures plus regressed (experiment, cell) groups.
+    failures: usize,
+}
 
-    println!("comparing {current_path} against {baseline_path} (threshold {pct}%)");
+/// Compare a current report against the baseline and produce the verdict.
+/// Pure over its inputs so the corner cases (missing cells, empty reports,
+/// the normalize path) are unit-testable; `main` adds only I/O.
+fn gate(
+    baseline: &BTreeMap<Key, (f64, Direction)>,
+    current: &BTreeMap<Key, (f64, Direction)>,
+    options: GateOptions,
+) -> GateOutcome {
     // Per-cell improvement ratios (cur/base oriented so > 1 is better),
     // grouped by (experiment, cell name) — cell names are engine names in
     // the cross-engine reports, so a regression localized to one engine is
@@ -250,10 +262,10 @@ fn main() -> ExitCode {
     let mut ratios: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     let mut failures = 0usize;
     let mut compared = 0usize;
-    for ((experiment, label, cell), (base, direction)) in &baseline {
+    for ((experiment, label, cell), (base, direction)) in baseline {
         let id = format!("{experiment} / {label} / {cell}");
         let Some((cur, _)) = current.get(&(experiment.clone(), label.clone(), cell.clone())) else {
-            if allow_missing {
+            if options.allow_missing {
                 println!("  SKIP {id}: not in current report");
             } else {
                 eprintln!(
@@ -285,7 +297,7 @@ fn main() -> ExitCode {
     // Optional hardware calibration: divide every ratio by the run-wide
     // median ratio, so only *relative* shifts (one engine/experiment
     // regressing against the others) count.
-    if normalize {
+    if options.normalize {
         let all: Vec<f64> = ratios.values().flatten().copied().collect();
         if !all.is_empty() {
             let cal = median(all);
@@ -300,7 +312,7 @@ fn main() -> ExitCode {
     // Verdict per (experiment, engine): geometric mean of that group's
     // ratios, so a single noisy cell cannot fail the gate but a real
     // regression across a group's labels does.
-    let floor = 1.0 - pct / 100.0;
+    let floor = 1.0 - options.pct / 100.0;
     for (group, rs) in &ratios {
         let geomean = (rs.iter().map(|r| r.ln()).sum::<f64>() / rs.len() as f64).exp();
         let regressed = geomean < floor;
@@ -313,11 +325,44 @@ fn main() -> ExitCode {
             failures += 1;
         }
     }
-    println!("{compared} cells compared, {failures} failures");
-    if failures > 0 {
+    GateOutcome { compared, failures }
+}
+
+fn main() -> ExitCode {
+    let baseline_path = env_or("BENCH_BASELINE", "bench/baseline.json");
+    let current_path = env_or("BENCH_CURRENT", "BENCH_fig7_scalability.json");
+    let pct: f64 = env_or("BENCH_REGRESSION_PCT", "30").parse().unwrap_or(30.0);
+    let options = GateOptions {
+        pct,
+        allow_missing: env_or("BENCH_BASELINE_ALLOW_MISSING", "0") == "1",
+        normalize: env_or("BENCH_NORMALIZE", "0") == "1",
+    };
+
+    let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("compare_baseline: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    if baseline.is_empty() {
+        eprintln!("compare_baseline: no comparable rows in {baseline_path}");
+        return ExitCode::FAILURE;
+    }
+
+    println!("comparing {current_path} against {baseline_path} (threshold {pct}%)");
+    let outcome = gate(&baseline, &current, options);
+    println!(
+        "{} cells compared, {} failures",
+        outcome.compared, outcome.failures
+    );
+    if outcome.failures > 0 {
         eprintln!(
-            "compare_baseline: {failures} regression(s) beyond {pct}% — \
-             investigate, or regenerate bench/baseline.json if intentional"
+            "compare_baseline: {} regression(s) beyond {pct}% — \
+             investigate, or regenerate bench/baseline.json if intentional",
+            outcome.failures
         );
         return ExitCode::FAILURE;
     }
@@ -361,5 +406,176 @@ mod tests {
             Some((f64::INFINITY, Direction::HigherIsBetter))
         );
         assert_eq!(parse_metric("n/a"), None);
+    }
+
+    /// Build a one-experiment report with the given (label, cell, value)
+    /// rows.
+    fn report(rows: &[(&str, &str, &str)]) -> String {
+        rows.iter()
+            .map(|(label, cell, value)| {
+                format!(
+                    r#"{{"type":"row","experiment":"e","label":"{label}","cells":{{"{cell}":"{value}"}}}}"#
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn load_rejects_malformed_lines() {
+        for bad in [
+            "not json at all",
+            "{\"type\":\"ro",                    // truncated mid-string
+            r#"{"type":"row","label":}"#,        // missing value
+            r#"{"type":"row","cells":{"a":1}}"#, // non-string cell value
+            r#"{"type":"row","count":3}"#,       // non-string top-level
+            "[]",                                // not an object
+        ] {
+            let text = format!("{}\n{bad}", report(&[("l", "c", "1.0")]));
+            let err = load_str(&text, "test.json").unwrap_err();
+            assert!(err.contains("malformed"), "{bad:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn load_handles_empty_and_metric_free_reports() {
+        // Empty file: no rows is Ok (main turns an empty *baseline* into a
+        // hard failure).
+        assert!(load_str("", "empty.json").unwrap().is_empty());
+        assert!(load_str("\n \n", "blank.json").unwrap().is_empty());
+        // Headers and meta stamps carry no metrics.
+        let text = "{\"type\":\"header\",\"experiment\":\"e\",\"caption\":\"c\"}\n\
+                    {\"type\":\"meta\",\"commit\":\"abc\"}";
+        assert!(load_str(text, "meta.json").unwrap().is_empty());
+        // Rows whose only cells are non-metric (speedups, text) contribute
+        // nothing.
+        let text = report(&[("l", "c", "2.41x"), ("l", "d", "n/a")]);
+        assert!(load_str(&text, "nonmetric.json").unwrap().is_empty());
+    }
+
+    #[test]
+    fn load_takes_medians_of_repeated_cells() {
+        let text = report(&[("l", "c", "1.0"), ("l", "c", "9.0"), ("l", "c", "2.0")]);
+        let loaded = load_str(&text, "rep.json").unwrap();
+        let key = ("e".into(), "l".into(), "c".into());
+        assert_eq!(loaded[&key], (2.0, Direction::HigherIsBetter));
+        // Even count → mean of the middle two.
+        let text = report(&[("l", "c", "1.0"), ("l", "c", "3.0")]);
+        let loaded = load_str(&text, "rep.json").unwrap();
+        assert_eq!(loaded[&key].0, 2.0);
+    }
+
+    fn opts(pct: f64, allow_missing: bool, normalize: bool) -> GateOptions {
+        GateOptions {
+            pct,
+            allow_missing,
+            normalize,
+        }
+    }
+
+    #[test]
+    fn gate_passes_identical_reports() {
+        let text = report(&[("t1", "A", "1.0"), ("t2", "A", "2.0")]);
+        let side = load_str(&text, "x").unwrap();
+        let outcome = gate(&side, &side, opts(30.0, false, false));
+        assert_eq!(
+            outcome,
+            GateOutcome {
+                compared: 2,
+                failures: 0
+            }
+        );
+    }
+
+    #[test]
+    fn gate_fails_on_large_regression_and_tolerates_small() {
+        let baseline = load_str(&report(&[("t1", "A", "1.0"), ("t2", "A", "1.0")]), "b").unwrap();
+        let ok = load_str(&report(&[("t1", "A", "0.9"), ("t2", "A", "0.85")]), "c").unwrap();
+        assert_eq!(gate(&baseline, &ok, opts(30.0, false, false)).failures, 0);
+        let bad = load_str(&report(&[("t1", "A", "0.5"), ("t2", "A", "0.6")]), "c").unwrap();
+        assert_eq!(gate(&baseline, &bad, opts(30.0, false, false)).failures, 1);
+        // Latencies regress by growing, not shrinking.
+        let baseline = load_str(&report(&[("t1", "A", "1.0s")]), "b").unwrap();
+        let slower = load_str(&report(&[("t1", "A", "2.0s")]), "c").unwrap();
+        assert_eq!(
+            gate(&baseline, &slower, opts(30.0, false, false)).failures,
+            1
+        );
+        let faster = load_str(&report(&[("t1", "A", "0.5s")]), "c").unwrap();
+        assert_eq!(
+            gate(&baseline, &faster, opts(30.0, false, false)).failures,
+            0
+        );
+    }
+
+    #[test]
+    fn gate_missing_cells_fail_unless_allowed() {
+        let baseline = load_str(&report(&[("t1", "A", "1.0"), ("t1", "B", "1.0")]), "b").unwrap();
+        let current = load_str(&report(&[("t1", "A", "1.0")]), "c").unwrap();
+        // Default: a baseline cell the current report lost is a failure
+        // (the bench shape changed without regenerating the baseline).
+        let strict = gate(&baseline, &current, opts(30.0, false, false));
+        assert_eq!(strict.failures, 1);
+        assert_eq!(strict.compared, 1);
+        // BENCH_BASELINE_ALLOW_MISSING=1 downgrades it to a skip.
+        let lax = gate(&baseline, &current, opts(30.0, true, false));
+        assert_eq!(
+            lax,
+            GateOutcome {
+                compared: 1,
+                failures: 0
+            }
+        );
+    }
+
+    #[test]
+    fn gate_normalize_cancels_uniform_slowdowns_only() {
+        // Two engines, two labels each; everything uniformly 2x slower —
+        // a slower runner, not a regression.
+        let baseline = load_str(
+            &report(&[
+                ("t1", "A", "1.0"),
+                ("t2", "A", "1.0"),
+                ("t1", "B", "4.0"),
+                ("t2", "B", "4.0"),
+            ]),
+            "b",
+        )
+        .unwrap();
+        let uniform = load_str(
+            &report(&[
+                ("t1", "A", "0.5"),
+                ("t2", "A", "0.5"),
+                ("t1", "B", "2.0"),
+                ("t2", "B", "2.0"),
+            ]),
+            "c",
+        )
+        .unwrap();
+        // Unnormalized, the 50% across-the-board drop fails both groups…
+        assert_eq!(
+            gate(&baseline, &uniform, opts(30.0, false, false)).failures,
+            2
+        );
+        // …normalized (BENCH_NORMALIZE=1) it cancels out entirely.
+        assert_eq!(
+            gate(&baseline, &uniform, opts(30.0, false, true)).failures,
+            0
+        );
+        // A regression localized to engine B still trips the normalized
+        // gate: B halves while A holds, so the run-wide median cannot
+        // absorb it.
+        let localized = load_str(
+            &report(&[
+                ("t1", "A", "1.0"),
+                ("t2", "A", "1.0"),
+                ("t1", "B", "2.0"),
+                ("t2", "B", "2.0"),
+            ]),
+            "c",
+        )
+        .unwrap();
+        let outcome = gate(&baseline, &localized, opts(30.0, false, true));
+        assert_eq!(outcome.failures, 1, "engine B regressed relative to A");
     }
 }

@@ -2,13 +2,25 @@
 //! transactions, at low / medium / high contention, for L-Store vs
 //! In-place Update + History vs Delta + Blocking Merge (one scan thread and
 //! one merge thread always running).
+//!
+//! A `BENCH_SHARDS` axis extends the figure with key-range sharded L-Store
+//! rows (`threads=T shards=S` labels): the base cross-engine rows always
+//! run the paper's single-shard table, and each sweep value above 1 adds an
+//! L-Store-only row per thread count, isolating writer-side shard scaling.
 
+use std::sync::Arc;
+
+use lstore_baselines::Engine;
 use lstore_bench::report::{self, mtxns};
 use lstore_bench::run_throughput;
 use lstore_bench::setup;
 use lstore_bench::workload::Contention;
 
 fn main() {
+    let shard_sweep: Vec<usize> = setup::shard_sweep()
+        .into_iter()
+        .filter(|&s| s > 1)
+        .collect();
     for contention in [Contention::Low, Contention::Medium, Contention::High] {
         let config = setup::workload(contention);
         report::header(
@@ -30,6 +42,18 @@ fn main() {
             let cells_ref: Vec<(&str, String)> =
                 cells.iter().map(|(n, v)| (*n, v.clone())).collect();
             report::row(&label, &cells_ref);
+        }
+        // Sharded-writer axis: L-Store only (the baselines have no shard
+        // knob), one row per (threads, shards > 1) combination.
+        for &shards in &shard_sweep {
+            let engine: Arc<dyn Engine> = setup::lstore_sharded_engine(&config, shards);
+            for threads in setup::thread_sweep() {
+                let r = run_throughput(&engine, &config, threads, setup::window(), None, true);
+                report::row(
+                    &format!("threads={threads} shards={shards}"),
+                    &[("L-Store", mtxns(r.txns_per_sec))],
+                );
+            }
         }
     }
 }

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use lstore::{DbConfig, TableConfig};
 use lstore_baselines::{DbmEngine, Engine, IuhEngine, LStoreEngine};
 
 use crate::workload::{Contention, WorkloadConfig};
@@ -43,6 +44,18 @@ pub fn scan_thread_sweep() -> Vec<usize> {
         .unwrap_or_else(|| vec![1, 4])
 }
 
+/// Key-range shard counts to sweep (env `BENCH_SHARDS`, comma-separated;
+/// default `1,4` — the paper's single-table baseline vs 4 writer shards).
+/// The fig7 runner adds an L-Store row per value above 1; the base
+/// cross-engine rows always run with one shard.
+pub fn shard_sweep() -> Vec<usize> {
+    std::env::var("BENCH_SHARDS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 4])
+}
+
 /// Build a populated engine of each architecture for `config`.
 pub fn all_engines(config: &WorkloadConfig) -> Vec<Arc<dyn Engine>> {
     let engines: Vec<Arc<dyn Engine>> = vec![
@@ -59,6 +72,18 @@ pub fn all_engines(config: &WorkloadConfig) -> Vec<Arc<dyn Engine>> {
 /// Build one populated L-Store engine.
 pub fn lstore_engine(config: &WorkloadConfig) -> Arc<LStoreEngine> {
     let e = Arc::new(LStoreEngine::new());
+    e.populate(config.rows, config.cols);
+    e
+}
+
+/// Build one populated L-Store engine whose table is key-range sharded
+/// `shards` ways (scans stay sequential, as in the cross-engine setting, so
+/// the axis isolates writer-side scaling).
+pub fn lstore_sharded_engine(config: &WorkloadConfig, shards: usize) -> Arc<LStoreEngine> {
+    let e = Arc::new(LStoreEngine::with_configs(
+        DbConfig::new().with_scan_threads(1).with_shards(shards),
+        TableConfig::default(),
+    ));
     e.populate(config.rows, config.cols);
     e
 }

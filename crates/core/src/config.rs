@@ -106,6 +106,14 @@ pub struct DbConfig {
     /// fan out across. `1` keeps scans strictly sequential on the calling
     /// thread; the pool is spawned lazily on the first parallel scan.
     pub scan_threads: usize,
+    /// Number of key-range shards per table: the key space splits into
+    /// contiguous stripes of `TableConfig::insert_range_size` keys, assigned
+    /// round-robin to shards, and each shard owns its own primary-index
+    /// partition, insert range, and statistics block — so writers scale
+    /// with cores the way the scan pool makes reads scale. Purely an
+    /// execution knob: results, commit timestamps (one global clock), RIDs,
+    /// and the WAL format are identical for every value.
+    pub shards: usize,
 }
 
 impl Default for DbConfig {
@@ -116,26 +124,31 @@ impl Default for DbConfig {
 
 impl DbConfig {
     /// In-memory database with a live merge daemon (the common case). Scans
-    /// fan out across all available cores.
+    /// fan out across all available cores, and tables shard their key space
+    /// across as many writer shards.
     pub fn new() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         DbConfig {
             wal_path: None,
             sync_on_commit: false,
             background_merge: true,
-            scan_threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            scan_threads: cores,
+            shards: cores,
         }
     }
 
     /// Deterministic configuration: no daemon, merges run only on demand,
-    /// scans stay sequential (`scan_threads = 1`).
+    /// scans stay sequential (`scan_threads = 1`), one table shard
+    /// (`shards = 1`).
     pub fn deterministic() -> Self {
         DbConfig {
             wal_path: None,
             sync_on_commit: false,
             background_merge: false,
             scan_threads: 1,
+            shards: 1,
         }
     }
 
@@ -149,6 +162,12 @@ impl DbConfig {
     /// Set the scan worker-pool width (clamped to ≥ 1).
     pub fn with_scan_threads(mut self, scan_threads: usize) -> Self {
         self.scan_threads = scan_threads.max(1);
+        self
+    }
+
+    /// Set the per-table key-range shard count (clamped to ≥ 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 }

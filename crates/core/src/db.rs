@@ -43,6 +43,8 @@ pub struct Runtime {
     merge_tx: Mutex<Option<Sender<MergeMsg>>>,
     /// Configured scan fan-out width (`DbConfig::scan_threads`).
     scan_threads: usize,
+    /// Configured per-table key-range shard count (`DbConfig::shards`).
+    shards: usize,
     /// Shared scan worker pool, spawned lazily on the first parallel scan so
     /// purely transactional databases never pay for idle scan threads.
     scan_pool: OnceLock<Option<ScanPool>>,
@@ -70,6 +72,11 @@ impl Runtime {
     /// for. Does not spawn the pool.
     pub(crate) fn scan_width(&self) -> usize {
         self.scan_threads
+    }
+
+    /// Configured per-table key-range shard count.
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards
     }
 }
 
@@ -104,6 +111,7 @@ impl Database {
             wal,
             merge_tx: Mutex::new(None),
             scan_threads: config.scan_threads.max(1),
+            shards: config.shards.max(1),
             scan_pool: OnceLock::new(),
         });
         let db = Arc::new(Database {

@@ -17,6 +17,11 @@
 //!   via **epoch-based de-allocation** without draining transactions.
 //! * Historic tail pages are re-organized and delta-compressed for
 //!   time-travel queries.
+//! * Tables are **key-range sharded** (`DbConfig::shards`): each shard owns
+//!   its own primary-index partition, insert range, and statistics, so
+//!   writers scale with cores the way the scan pool scales reads — while
+//!   one global clock keeps snapshot semantics identical for every shard
+//!   count.
 //!
 //! ## Quick start
 //!
@@ -57,6 +62,7 @@ pub mod rid;
 pub mod row;
 pub mod scan;
 pub mod schema;
+pub mod shard;
 pub mod stats;
 pub mod table;
 pub mod tailseg;
@@ -67,6 +73,7 @@ pub use error::{Error, Result};
 pub use rid::Rid;
 pub use row::RowTable;
 pub use schema::{Schema, SchemaEncoding};
+pub use shard::ShardMap;
 pub use table::Table;
 
 pub use lstore_storage::NULL_VALUE;

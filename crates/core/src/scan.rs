@@ -18,6 +18,15 @@
 //! ranges' `BaseVersion`s exactly as the sequential path does; with
 //! `scan_threads = 1` (the `DbConfig::deterministic()` setting) every scan
 //! stays strictly sequential on the calling thread.
+//!
+//! The fan-out units are the shard-aligned partitions of
+//! `Table::scan_partitions`: each partition holds ranges of exactly one
+//! key-range shard, so pool workers walk ranges written by one writer
+//! shard rather than an interleaving of all of them, and the `ScanPool`
+//! partitioning stays aligned with the writer-side sharding. Aggregates
+//! combine associatively and `scan_as_of` sorts by key, so neither the
+//! shard count nor the pool width is observable in any result (the
+//! `property_model` suite pins both).
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -67,17 +76,18 @@ impl Table {
     pub fn sum_as_of(&self, user_col: usize, ts: u64) -> u64 {
         let col = user_col + 1;
         let guard = self.runtime.epoch.pin();
-        let ranges = self.all_ranges();
-        self.scan_fanout(&ranges, &guard, |chunk| self.sum_ranges(chunk, col, ts))
+        let parts = self.scan_partitions();
+        self.scan_fanout(&parts, &guard, |chunk| self.sum_ranges(chunk, col, ts))
             .into_iter()
             .fold(0u64, u64::wrapping_add)
     }
 
-    /// Sequential partial SUM over one chunk of ranges (one worker's share).
-    fn sum_ranges(&self, ranges: &[Arc<UpdateRange>], col: usize, ts: u64) -> u64 {
+    /// Sequential partial SUM over one chunk of shard partitions (one
+    /// worker's share).
+    fn sum_ranges(&self, parts: &[Vec<Arc<UpdateRange>>], col: usize, ts: u64) -> u64 {
         let mode = ReadMode::as_of(ts);
         let mut sum = 0u64;
-        for range in ranges {
+        for range in parts.iter().flatten() {
             let base = range.base();
             if let Some(page) = clean_range_page(range, &base, col, ts) {
                 sum = sum.wrapping_add(page.sum());
@@ -102,8 +112,8 @@ impl Table {
     pub fn sum_cols_as_of(&self, user_cols: &[usize], ts: u64) -> Vec<u64> {
         let cols: Vec<usize> = user_cols.iter().map(|&c| c + 1).collect();
         let guard = self.runtime.epoch.pin();
-        let ranges = self.all_ranges();
-        let partials = self.scan_fanout(&ranges, &guard, |chunk| {
+        let parts = self.scan_partitions();
+        let partials = self.scan_fanout(&parts, &guard, |chunk| {
             self.sum_cols_ranges(chunk, &cols, ts)
         });
         let mut totals = vec![0u64; cols.len()];
@@ -116,10 +126,15 @@ impl Table {
     }
 
     /// Per-chunk partial sums for `sum_cols_as_of`, in `cols` order.
-    fn sum_cols_ranges(&self, ranges: &[Arc<UpdateRange>], cols: &[usize], ts: u64) -> Vec<u64> {
+    fn sum_cols_ranges(
+        &self,
+        parts: &[Vec<Arc<UpdateRange>>],
+        cols: &[usize],
+        ts: u64,
+    ) -> Vec<u64> {
         let mode = ReadMode::as_of(ts);
         let mut sums = vec![0u64; cols.len()];
-        for range in ranges {
+        for range in parts.iter().flatten() {
             let base = range.base();
             // Split the columns of this range into page-summable and
             // chain-resolved; a single slot walk covers all of the latter.
@@ -160,8 +175,8 @@ impl Table {
         let gcol = group_user_col + 1;
         let vcol = value_user_col + 1;
         let guard = self.runtime.epoch.pin();
-        let ranges = self.all_ranges();
-        let partials = self.scan_fanout(&ranges, &guard, |chunk| {
+        let parts = self.scan_partitions();
+        let partials = self.scan_fanout(&parts, &guard, |chunk| {
             self.group_ranges(chunk, gcol, vcol, ts)
         });
         let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
@@ -177,7 +192,7 @@ impl Table {
     /// Per-chunk partial GROUP BY/SUM map.
     fn group_ranges(
         &self,
-        ranges: &[Arc<UpdateRange>],
+        parts: &[Vec<Arc<UpdateRange>>],
         gcol: usize,
         vcol: usize,
         ts: u64,
@@ -185,7 +200,7 @@ impl Table {
         let mode = ReadMode::as_of(ts);
         let request = [gcol, vcol];
         let mut groups: BTreeMap<u64, u64> = BTreeMap::new();
-        for range in ranges {
+        for range in parts.iter().flatten() {
             let base = range.base();
             let reader = self.reader(range, &base);
             let slots = self.occupied_slots(range, &base);
@@ -336,17 +351,17 @@ impl Table {
     /// Count visible records at snapshot `ts`.
     pub fn count_as_of(&self, ts: u64) -> u64 {
         let guard = self.runtime.epoch.pin();
-        let ranges = self.all_ranges();
-        self.scan_fanout(&ranges, &guard, |chunk| self.count_ranges(chunk, ts))
+        let parts = self.scan_partitions();
+        self.scan_fanout(&parts, &guard, |chunk| self.count_ranges(chunk, ts))
             .into_iter()
             .sum()
     }
 
-    /// Partial visible-record count over one chunk of ranges.
-    fn count_ranges(&self, ranges: &[Arc<UpdateRange>], ts: u64) -> u64 {
+    /// Partial visible-record count over one chunk of shard partitions.
+    fn count_ranges(&self, parts: &[Vec<Arc<UpdateRange>>], ts: u64) -> u64 {
         let mode = ReadMode::as_of(ts);
         let mut n = 0u64;
-        for range in ranges {
+        for range in parts.iter().flatten() {
             let base = range.base();
             let reader = self.reader(range, &base);
             let slots = self.occupied_slots(range, &base);
@@ -360,34 +375,37 @@ impl Table {
     }
 
     /// Full scan: visible `(key, value-columns)` rows at snapshot `ts`, in
-    /// RID order (partial results concatenate chunk-by-chunk in range
-    /// order, so the row order matches the sequential scan exactly).
+    /// ascending key order. Workers materialize rows per shard partition
+    /// and the concatenation is key-sorted at the end, so the row order is
+    /// identical for every shard count and pool width (physical placement
+    /// — which shard's range holds a record — is never observable).
     pub fn scan_as_of(&self, user_cols: &[usize], ts: u64) -> Vec<(u64, Vec<u64>)> {
         let cols: Vec<usize> = user_cols.iter().map(|&c| c + 1).collect();
         let mut request = vec![0usize]; // key first
         request.extend_from_slice(&cols);
         let guard = self.runtime.epoch.pin();
-        let ranges = self.all_ranges();
-        let partials = self.scan_fanout(&ranges, &guard, |chunk| {
+        let parts = self.scan_partitions();
+        let partials = self.scan_fanout(&parts, &guard, |chunk| {
             self.collect_ranges(chunk, &request, ts)
         });
         let mut out = Vec::with_capacity(partials.iter().map(Vec::len).sum());
         for partial in partials {
             out.extend(partial);
         }
+        out.sort_by_key(|&(key, _)| key);
         out
     }
 
-    /// Partial row materialization over one chunk of ranges.
+    /// Partial row materialization over one chunk of shard partitions.
     fn collect_ranges(
         &self,
-        ranges: &[Arc<UpdateRange>],
+        parts: &[Vec<Arc<UpdateRange>>],
         request: &[usize],
         ts: u64,
     ) -> Vec<(u64, Vec<u64>)> {
         let mode = ReadMode::as_of(ts);
         let mut out = Vec::new();
-        for range in ranges {
+        for range in parts.iter().flatten() {
             let base = range.base();
             let reader = self.reader(range, &base);
             let slots = self.occupied_slots(range, &base);

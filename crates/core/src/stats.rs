@@ -61,6 +61,39 @@ impl TableStats {
     }
 }
 
+impl StatsSnapshot {
+    /// Add `other`'s counters into this snapshot — aggregating the
+    /// per-shard statistics blocks of a key-range sharded table into one
+    /// table-wide view. The exhaustive destructuring (no `..`) makes
+    /// adding a counter without aggregating it a compile error.
+    pub fn absorb(&mut self, other: &StatsSnapshot) {
+        let StatsSnapshot {
+            inserts,
+            updates,
+            deletes,
+            snapshots_taken,
+            write_conflicts,
+            merges,
+            merged_records,
+            insert_merges,
+            historic_compressed,
+            fast_path_reads,
+            chain_reads,
+        } = *other;
+        self.inserts += inserts;
+        self.updates += updates;
+        self.deletes += deletes;
+        self.snapshots_taken += snapshots_taken;
+        self.write_conflicts += write_conflicts;
+        self.merges += merges;
+        self.merged_records += merged_records;
+        self.insert_merges += insert_merges;
+        self.historic_compressed += historic_compressed;
+        self.fast_path_reads += fast_path_reads;
+        self.chain_reads += chain_reads;
+    }
+}
+
 /// Plain-data snapshot of [`TableStats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {

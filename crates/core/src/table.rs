@@ -19,13 +19,20 @@
 //! (excluding the key). Internally the key is data column 0, so a table
 //! created with `n` value columns has `n + 1` data columns — mirroring the
 //! paper's Table 2 layout (Key, A, B, C).
+//!
+//! **Sharding**: the key space partitions into `DbConfig::shards`
+//! independent key-range shards (see [`crate::shard`]), each owning its own
+//! primary-index partition, active insert range, and statistics block.
+//! Update ranges keep dense *global* ids in the table-wide
+//! `crate::shard::RangeRegistry`, so RIDs and the WAL format never encode
+//! the shard count.
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use lstore_index::{PrimaryIndex, SecondaryIndex};
+use lstore_index::SecondaryIndex;
 use lstore_txn::{ReadSetEntry, Transaction, TxnStatus};
 use lstore_wal::LogRecord;
 
@@ -38,6 +45,7 @@ use crate::range::UpdateRange;
 use crate::read::{ReadMode, Resolved, VersionReader};
 use crate::rid::Rid;
 use crate::schema::{Schema, SchemaEncoding};
+use crate::shard::{RangeRegistry, ShardMap, TableShard};
 use crate::stats::{StatsSnapshot, TableStats};
 
 /// A lineage-based table.
@@ -47,13 +55,18 @@ pub struct Table {
     schema: Schema,
     config: TableConfig,
     pub(crate) runtime: Arc<Runtime>,
-    ranges: RwLock<Vec<Arc<UpdateRange>>>,
-    /// Range currently accepting inserts.
-    current_insert: AtomicU32,
-    pk: PrimaryIndex,
+    /// All update ranges, by dense global id (lock-free lookups).
+    ranges: RangeRegistry,
+    /// Key → shard routing (striped range partitioning).
+    shard_map: ShardMap,
+    /// Per-shard writer state: primary-index partition, active insert
+    /// range, statistics.
+    shards: Box<[TableShard]>,
     secondary: RwLock<Vec<(usize, Arc<SecondaryIndex>)>>,
+    /// Fast-path flag: skip the `secondary` lock entirely while no
+    /// secondary index exists (the common OLTP case).
+    has_secondary: AtomicBool,
     pub(crate) historic: HistoricStore,
-    stats: TableStats,
 }
 
 impl Table {
@@ -69,24 +82,37 @@ impl Table {
         cols.extend_from_slice(value_columns);
         let schema = Schema::new(&cols, 0)?;
         let ncols = schema.column_count();
-        let first = Arc::new(UpdateRange::new(
-            0,
-            config.insert_range_size,
-            ncols,
-            config.tail_page_slots,
-        ));
+        let nshards = runtime.shard_count().max(1);
+        let ranges = RangeRegistry::new();
+        // One initial insert range per shard: shard `s` owns range `s`.
+        for s in 0..nshards as u32 {
+            ranges
+                .append_with(|rid| {
+                    Some(Arc::new(UpdateRange::new(
+                        rid,
+                        s,
+                        config.insert_range_size,
+                        ncols,
+                        config.tail_page_slots,
+                    )))
+                })
+                .expect("initial range");
+        }
+        let shards: Box<[TableShard]> = (0..nshards)
+            .map(|s| TableShard::new(s as u32, nshards))
+            .collect();
         Ok(Arc::new(Table {
             id,
             name: name.to_string(),
             schema,
+            shard_map: ShardMap::new(nshards, config.insert_range_size),
             config,
             runtime,
-            ranges: RwLock::new(vec![first]),
-            current_insert: AtomicU32::new(0),
-            pk: PrimaryIndex::new(),
+            ranges,
+            shards,
             secondary: RwLock::new(Vec::new()),
+            has_secondary: AtomicBool::new(false),
             historic: HistoricStore::new(),
-            stats: TableStats::default(),
         }))
     }
 
@@ -110,14 +136,34 @@ impl Table {
         &self.config
     }
 
-    /// Statistics snapshot.
+    /// Table-wide statistics snapshot (sum over all shards).
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut total = StatsSnapshot::default();
+        for shard in self.shards.iter() {
+            total.absorb(&shard.stats.snapshot());
+        }
+        total
+    }
+
+    /// Statistics snapshot of one key-range shard.
+    pub fn shard_stats(&self, shard: usize) -> StatsSnapshot {
+        self.shards[shard].stats.snapshot()
+    }
+
+    /// Number of key-range shards (`DbConfig::shards` at creation time).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `key` (striped range partitioning: contiguous
+    /// stripes of `TableConfig::insert_range_size` keys, round-robin).
+    pub fn shard_of_key(&self, key: u64) -> usize {
+        self.shard_map.shard_of(key) as usize
     }
 
     /// Number of update ranges.
     pub fn range_count(&self) -> usize {
-        self.ranges.read().len()
+        self.ranges.len()
     }
 
     /// Advanced API: fetch a range handle (used by benches and tests that
@@ -126,14 +172,47 @@ impl Table {
         self.range(id)
     }
 
-    /// Fetch a range by id.
+    /// Fetch a range by id (lock-free).
     pub(crate) fn range(&self, id: u32) -> Arc<UpdateRange> {
-        Arc::clone(&self.ranges.read()[id as usize])
+        self.ranges.get(id)
     }
 
-    /// All ranges (snapshot of the list).
+    /// All ranges, in global-id order.
     pub(crate) fn all_ranges(&self) -> Vec<Arc<UpdateRange>> {
-        self.ranges.read().clone()
+        self.ranges.snapshot()
+    }
+
+    /// All ranges grouped by owning shard (one registry snapshot;
+    /// global-id order within each shard's group).
+    fn ranges_by_shard(&self) -> Vec<Vec<Arc<UpdateRange>>> {
+        let mut by_shard: Vec<Vec<Arc<UpdateRange>>> = vec![Vec::new(); self.shards.len()];
+        for range in self.all_ranges() {
+            debug_assert!((range.shard as usize) < self.shards.len());
+            by_shard[range.shard as usize].push(range);
+        }
+        by_shard
+    }
+
+    /// Shard-aligned scan partitions: every range exactly once, grouped by
+    /// owning shard (shard-major, global-id order within a shard), with
+    /// each shard's group sub-split so the partition count still fills the
+    /// scan pool when there are fewer shards than scan threads. Chunks
+    /// handed to [`Table::scan_fanout`] therefore never straddle a shard
+    /// boundary: a scan worker walks ranges written by one writer shard,
+    /// not a cache-unfriendly interleaving of all of them.
+    pub(crate) fn scan_partitions(&self) -> Vec<Vec<Arc<UpdateRange>>> {
+        let pieces = self.runtime.scan_width().div_ceil(self.shards.len()).max(1);
+        let mut parts = Vec::new();
+        for group in self.ranges_by_shard() {
+            if group.is_empty() {
+                continue;
+            }
+            let chunk = group.len().div_ceil(pieces);
+            for piece in group.chunks(chunk.max(1)) {
+                parts.push(piece.to_vec());
+            }
+        }
+        parts
     }
 
     /// Fan a per-chunk fold across the shared scan pool: `fold` runs once
@@ -193,6 +272,12 @@ impl Table {
     pub fn create_secondary_index(&self, user_col: usize) -> Result<Arc<SecondaryIndex>> {
         let col = self.internal_col(user_col)?;
         let idx = Arc::new(SecondaryIndex::new());
+        // Raise the writers' fast-path flag *before* the backfill and
+        // registration: a concurrent writer that loads `true` and finds the
+        // list still empty does nothing (harmless), while loading a stale
+        // `false` after registration would skip index maintenance for its
+        // row permanently.
+        self.has_secondary.store(true, Ordering::Release);
         // Back-fill.
         let mode = ReadMode::latest();
         for range in self.all_ranges() {
@@ -245,9 +330,20 @@ impl Table {
         }
     }
 
-    /// Resolve a key to its stable base RID via the primary index.
+    /// The shard state owning `key`.
+    #[inline]
+    fn shard_for(&self, key: u64) -> &TableShard {
+        &self.shards[self.shard_map.shard_of(key) as usize]
+    }
+
+    /// Resolve a key to its stable base RID via its shard's primary-index
+    /// partition.
     pub fn locate(&self, key: u64) -> Result<Rid> {
-        self.pk.get(key).map(Rid).ok_or(Error::KeyNotFound(key))
+        self.shard_for(key)
+            .pk
+            .get(key)
+            .map(Rid)
+            .ok_or(Error::KeyNotFound(key))
     }
 
     // ------------------------------------------------------------------
@@ -262,19 +358,22 @@ impl Table {
                 columns: self.value_columns(),
             });
         }
-        // Allocate an aligned slot in the current insert range.
+        // Route to the key's shard, then allocate an aligned slot in that
+        // shard's current insert range.
+        let shard_idx = self.shard_map.shard_of(key) as usize;
+        let shard = &self.shards[shard_idx];
         let (range, slot) = loop {
-            let cur = self.current_insert.load(Ordering::Acquire);
+            let cur = shard.current_insert.load(Ordering::Acquire);
             let range = self.range(cur);
             if let Some(slot) = range.allocate_slot() {
                 break (range, slot);
             }
-            self.grow_insert_range(cur);
+            self.grow_insert_range(shard_idx, cur);
         };
         let rid = Rid::base(range.id, slot);
         // Uniqueness: claim the primary-index entry first.
-        if let Some(prev) = self.pk.insert(key, rid.0) {
-            self.pk.insert(key, prev); // restore
+        if let Some(prev) = shard.pk.insert(key, rid.0) {
+            shard.pk.insert(key, prev); // restore
             return Err(Error::DuplicateKey(key));
         }
 
@@ -307,11 +406,13 @@ impl Table {
             })?;
         }
         txn.track_insert(self.id, rid.0, key);
-        for (col, idx) in self.secondary.read().iter() {
-            let v = if *col == 0 { key } else { values[*col - 1] };
-            idx.insert(v, rid.0);
+        if self.has_secondary.load(Ordering::Acquire) {
+            for (col, idx) in self.secondary.read().iter() {
+                let v = if *col == 0 { key } else { values[*col - 1] };
+                idx.insert(v, rid.0);
+            }
         }
-        TableStats::bump(&self.stats.inserts);
+        TableStats::bump(&shard.stats.inserts);
 
         // A filled insert range is a candidate for the simplified merge.
         if slot as usize + 1 == range.capacity {
@@ -320,19 +421,31 @@ impl Table {
         Ok(rid)
     }
 
-    fn grow_insert_range(&self, full_id: u32) {
-        let mut ranges = self.ranges.write();
-        if self.current_insert.load(Ordering::Acquire) != full_id {
-            return; // another inserter already grew the table
+    /// Roll `shard_idx`'s insert range forward once `full_id` filled. The
+    /// shard's grow mutex is the rollover critical section: the re-check
+    /// under the lock ensures exactly one competing inserter grows the
+    /// shard, and `current_insert` is only advanced after the registry has
+    /// published the new range (so readers of the pointer can always
+    /// resolve it).
+    fn grow_insert_range(&self, shard_idx: usize, full_id: u32) {
+        let shard = &self.shards[shard_idx];
+        let _g = shard.grow.lock();
+        if shard.current_insert.load(Ordering::Acquire) != full_id {
+            return; // another inserter already grew this shard
         }
-        let id = ranges.len() as u32;
-        ranges.push(Arc::new(UpdateRange::new(
-            id,
-            self.config.insert_range_size,
-            self.schema.column_count(),
-            self.config.tail_page_slots,
-        )));
-        self.current_insert.store(id, Ordering::Release);
+        let range = self
+            .ranges
+            .append_with(|id| {
+                Some(Arc::new(UpdateRange::new(
+                    id,
+                    shard_idx as u32,
+                    self.config.insert_range_size,
+                    self.schema.column_count(),
+                    self.config.tail_page_slots,
+                )))
+            })
+            .expect("append insert range");
+        shard.current_insert.store(range.id, Ordering::Release);
     }
 
     // ------------------------------------------------------------------
@@ -352,7 +465,7 @@ impl Table {
     /// update operation, in which all data columns are implicitly set to ∅").
     pub fn delete(&self, txn: &mut Transaction, key: u64) -> Result<Rid> {
         let rid = self.write_tail(txn, key, &[], true)?;
-        TableStats::bump(&self.stats.deletes);
+        TableStats::bump(&self.shard_for(key).stats.deletes);
         Ok(rid)
     }
 
@@ -363,6 +476,7 @@ impl Table {
         internal_updates: &[(usize, u64)],
         is_delete: bool,
     ) -> Result<Rid> {
+        let shard = self.shard_for(key);
         let base_rid = self.locate(key)?;
         let range = self.range(base_rid.range());
         let slot = base_rid.slot();
@@ -372,7 +486,7 @@ impl Table {
         let prev = match range.try_latch(slot) {
             Some(p) => p,
             None => {
-                TableStats::bump(&self.stats.write_conflicts);
+                TableStats::bump(&shard.stats.write_conflicts);
                 return Err(Error::WriteConflict {
                     base_rid: base_rid.0,
                 });
@@ -392,7 +506,7 @@ impl Table {
             match self.runtime.mgr.get(head_start).map(|i| i.status) {
                 Some(TxnStatus::Active) | Some(TxnStatus::PreCommit) => {
                     range.unlatch_restore(slot, prev);
-                    TableStats::bump(&self.stats.write_conflicts);
+                    TableStats::bump(&shard.stats.write_conflicts);
                     return Err(Error::WriteConflict {
                         base_rid: base_rid.0,
                     });
@@ -472,7 +586,7 @@ impl Table {
             chain_prev = Rid::tail(range.id, snap_seq);
             range.mark_updated(slot, fresh_bits);
             range.note_tail_append();
-            TableStats::bump(&self.stats.snapshots_taken);
+            TableStats::bump(&shard.stats.snapshots_taken);
         }
 
         // Cumulative carry (§3.1): repeat the latest values of previously
@@ -528,17 +642,20 @@ impl Table {
         range.mark_updated(slot, upd_bits);
         range.unlatch_install(slot, tail_rid);
         txn.track_write(self.id, base_rid.0, tail_rid.0);
-        TableStats::bump(&self.stats.updates);
+        TableStats::bump(&shard.stats.updates);
 
         // Secondary-index maintenance: add (new value, base RID); defer the
         // removal of superseded entries (§3.1 footnote 3).
-        for (col, idx) in self.secondary.read().iter() {
-            if let Some(&(_, v)) = columns.iter().find(|(c, _)| c == col) {
-                idx.insert(v, base_rid.0);
-                // The superseded (old-value, rid) entry is *not* removed here:
-                // removal is deferred until the change falls outside every
-                // active snapshot (§3.1 footnote 3). Stale hits are filtered
-                // by predicate re-evaluation; `SecondaryIndex::gc` prunes.
+        if self.has_secondary.load(Ordering::Acquire) {
+            for (col, idx) in self.secondary.read().iter() {
+                if let Some(&(_, v)) = columns.iter().find(|(c, _)| c == col) {
+                    idx.insert(v, base_rid.0);
+                    // The superseded (old-value, rid) entry is *not* removed
+                    // here: removal is deferred until the change falls
+                    // outside every active snapshot (§3.1 footnote 3). Stale
+                    // hits are filtered by predicate re-evaluation;
+                    // `SecondaryIndex::gc` prunes.
+                }
             }
         }
 
@@ -695,10 +812,13 @@ impl Table {
 
     fn process_merge_inner(&self, range_id: u32, force_seal: bool) -> MergeReport {
         let range = self.range(range_id);
+        // Merge work is attributed to the shard owning the range.
+        debug_assert!((range.shard as usize) < self.shards.len());
+        let stats = &self.shards[range.shard as usize].stats;
         let mut report = MergeReport::default();
         if range.base().is_insert_phase() {
             if force_seal {
-                self.seal_insert_range(range_id);
+                self.seal_insert_range(&range);
             }
             if merge::merge_insert_range(
                 &range,
@@ -707,7 +827,7 @@ impl Table {
                 &self.config,
                 force_seal,
             ) {
-                TableStats::bump(&self.stats.insert_merges);
+                TableStats::bump(&stats.insert_merges);
             } else {
                 range.merge_done();
                 return report;
@@ -722,8 +842,8 @@ impl Table {
             None,
         );
         if report.swapped {
-            TableStats::bump(&self.stats.merges);
-            TableStats::add(&self.stats.merged_records, report.consumed);
+            TableStats::bump(&stats.merges);
+            TableStats::add(&stats.merged_records, report.consumed);
             if let Some(wal) = &self.runtime.wal {
                 let _ = wal.append(&LogRecord::MergeCompleted {
                     table_id: self.id,
@@ -742,24 +862,31 @@ impl Table {
         self.process_merge_inner(range_id, true)
     }
 
-    /// Synchronously merge every range; returns total tail records consumed.
-    /// Partially-filled insert ranges are sealed (new inserts go to a fresh
-    /// range) so their records graduate to base pages immediately.
+    /// Synchronously merge every range, walking shard by shard (each
+    /// shard's ranges in global-id order); returns total tail records
+    /// consumed. Partially-filled insert ranges are sealed (new inserts go
+    /// to a fresh range) so their records graduate to base pages
+    /// immediately. Commit timestamps are global, so the shard walk order
+    /// cannot affect which records each range's committed prefix contains.
     pub fn merge_all(&self) -> u64 {
         let mut total = 0;
-        for range in self.all_ranges() {
-            total += self.process_merge_inner(range.id, true).consumed;
+        for group in self.ranges_by_shard() {
+            for range in group {
+                total += self.process_merge_inner(range.id, true).consumed;
+            }
         }
         total
     }
 
-    /// Stop directing inserts at `range_id` (a new insert range takes over)
-    /// so the range can graduate even while partially filled.
-    fn seal_insert_range(&self, range_id: u32) {
-        if self.current_insert.load(Ordering::Acquire) != range_id {
-            return; // not the active insert range
+    /// Stop directing inserts at `range` (a new insert range takes over its
+    /// shard) so the range can graduate even while partially filled.
+    fn seal_insert_range(&self, range: &UpdateRange) {
+        debug_assert!((range.shard as usize) < self.shards.len());
+        let owner = range.shard as usize;
+        if self.shards[owner].current_insert.load(Ordering::Acquire) != range.id {
+            return; // not the shard's active insert range
         }
-        self.grow_insert_range(range_id);
+        self.grow_insert_range(owner, range.id);
     }
 
     /// Merge only a subset of value columns of one range — the independent
@@ -787,25 +914,31 @@ impl Table {
     /// total tail records consumed.
     pub fn merge_upto_time(&self, ti: u64) -> u64 {
         let mut total = 0;
-        for range in self.all_ranges() {
-            if range.base().is_insert_phase() {
-                continue; // graduates via the insert merge first
+        // Shard-by-shard walk: `ti` comes from the one global clock, so
+        // bounding each range's committed prefix by it produces the same
+        // consistent cross-shard snapshot in any walk order.
+        for group in self.ranges_by_shard() {
+            for range in group {
+                if range.base().is_insert_phase() {
+                    continue; // graduates via the insert merge first
+                }
+                let from = range.base().tps + 1;
+                let bounded =
+                    merge::committed_prefix_upto_time(&range, from, &self.runtime.mgr, ti);
+                if bounded < from {
+                    continue;
+                }
+                let limit = bounded - from + 1;
+                let report = merge::merge_range(
+                    &range,
+                    &self.runtime.mgr,
+                    &self.runtime.epoch,
+                    &self.config,
+                    Some(limit),
+                    None,
+                );
+                total += report.consumed;
             }
-            let from = range.base().tps + 1;
-            let bounded = merge::committed_prefix_upto_time(&range, from, &self.runtime.mgr, ti);
-            if bounded < from {
-                continue;
-            }
-            let limit = bounded - from + 1;
-            let report = merge::merge_range(
-                &range,
-                &self.runtime.mgr,
-                &self.runtime.epoch,
-                &self.config,
-                Some(limit),
-                None,
-            );
-            total += report.consumed;
         }
         total
     }
@@ -825,7 +958,9 @@ impl Table {
             .historic
             .compress_range(&range, tps, oldest_snapshot, &self.runtime.mgr);
         if n > 0 {
-            TableStats::add(&self.stats.historic_compressed, n as u64);
+            debug_assert!((range.shard as usize) < self.shards.len());
+            let stats = &self.shards[range.shard as usize].stats;
+            TableStats::add(&stats.historic_compressed, n as u64);
             if let Some(wal) = &self.runtime.wal {
                 let _ = wal.append(&LogRecord::HistoricCompressed {
                     table_id: self.id,
@@ -843,25 +978,36 @@ impl Table {
     }
 
     pub(crate) fn pk_remove_inner(&self, key: u64) {
-        self.pk.remove(key);
+        self.shard_for(key).pk.remove(key);
     }
 
     pub(crate) fn pk_insert_raw(&self, key: u64, rid: Rid) {
-        self.pk.insert(key, rid.0);
+        self.shard_for(key).pk.insert(key, rid.0);
     }
 
-    /// Append an empty insert-phase range (WAL replay re-creates the range
-    /// layout the table had before the crash).
+    /// Append an empty insert-phase range (WAL replay and checkpoint
+    /// restore re-create the range layout the table had before the crash).
+    /// Logged range ids are global and shard-count-agnostic, so recovered
+    /// ranges are assigned to shards round-robin; the primary index is
+    /// rebuilt through key routing, which makes the shard count a pure
+    /// runtime knob rather than part of the persistence format.
     pub(crate) fn grow_for_replay(&self) {
-        let mut ranges = self.ranges.write();
-        let id = ranges.len() as u32;
-        ranges.push(Arc::new(UpdateRange::new(
-            id,
-            self.config.insert_range_size,
-            self.schema.column_count(),
-            self.config.tail_page_slots,
-        )));
-        self.current_insert.store(id, Ordering::Release);
+        let range = self
+            .ranges
+            .append_with(|id| {
+                let owner = id % self.shards.len() as u32;
+                Some(Arc::new(UpdateRange::new(
+                    id,
+                    owner,
+                    self.config.insert_range_size,
+                    self.schema.column_count(),
+                    self.config.tail_page_slots,
+                )))
+            })
+            .expect("append replay range");
+        self.shards[range.shard as usize]
+            .current_insert
+            .store(range.id, Ordering::Release);
     }
 
     /// Total encoded bytes of all base pages (storage-footprint metric).
@@ -878,6 +1024,7 @@ impl std::fmt::Debug for Table {
         f.debug_struct("Table")
             .field("id", &self.id)
             .field("name", &self.name)
+            .field("shards", &self.shards.len())
             .field("ranges", &self.range_count())
             .finish()
     }

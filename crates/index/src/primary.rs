@@ -1,15 +1,16 @@
 //! Primary key index: unique key → base RID.
 //!
-//! Sharded hash map so concurrent point lookups and inserts from many writer
-//! threads do not serialize on one lock (the evaluation drives up to 22
-//! concurrent update threads against a single primary index, §6).
+//! Lock-striped hash map so concurrent point lookups and inserts from many
+//! writer threads do not serialize on one lock (the evaluation drives up to
+//! 22 concurrent update threads against a single primary index, §6). Tables
+//! that partition their key space (key-range sharded tables) hold one
+//! `PrimaryIndex` per table shard and size the stripe count accordingly via
+//! [`PrimaryIndex::with_shards`].
 
 use parking_lot::RwLock;
 use std::collections::HashMap;
 
-const SHARDS: usize = 128;
-
-/// A sharded unique index from `u64` key to base RID.
+/// A lock-striped unique index from `u64` key to base RID.
 #[derive(Debug)]
 pub struct PrimaryIndex {
     shards: Vec<RwLock<HashMap<u64, u64>>>,
@@ -22,18 +23,33 @@ impl Default for PrimaryIndex {
 }
 
 impl PrimaryIndex {
-    /// Create an empty index.
+    /// Default lock-stripe count of [`PrimaryIndex::new`].
+    pub const DEFAULT_SHARDS: usize = 128;
+
+    /// Create an empty index with the default stripe count.
     pub fn new() -> Self {
+        Self::with_shards(Self::DEFAULT_SHARDS)
+    }
+
+    /// Create an empty index striped across `shards` locks (clamped to ≥ 1,
+    /// rounded up to a power of two so stripe selection stays a mask).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
         PrimaryIndex {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
         }
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     #[inline]
     fn shard(&self, key: u64) -> &RwLock<HashMap<u64, u64>> {
-        // Fibonacci hashing spreads dense integer keys across shards.
+        // Fibonacci hashing spreads dense integer keys across stripes.
         let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        &self.shards[(h >> 57) as usize % SHARDS]
+        &self.shards[(h >> 33) as usize & (self.shards.len() - 1)]
     }
 
     /// Insert `key → rid`; returns the previous RID when the key existed
@@ -79,6 +95,22 @@ mod tests {
         assert_eq!(idx.insert(10, 200), Some(100), "duplicate reported");
         assert_eq!(idx.remove(10), Some(200));
         assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn stripe_count_is_configurable() {
+        assert_eq!(PrimaryIndex::new().shard_count(), 128);
+        assert_eq!(PrimaryIndex::with_shards(8).shard_count(), 8);
+        // Clamped and rounded to a power of two.
+        assert_eq!(PrimaryIndex::with_shards(0).shard_count(), 1);
+        assert_eq!(PrimaryIndex::with_shards(9).shard_count(), 16);
+        // A narrow index still indexes correctly.
+        let idx = PrimaryIndex::with_shards(2);
+        for k in 0..1000 {
+            assert_eq!(idx.insert(k, k + 7), None);
+        }
+        assert_eq!(idx.len(), 1000);
+        assert_eq!(idx.get(999), Some(1006));
     }
 
     #[test]

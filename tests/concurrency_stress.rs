@@ -242,6 +242,144 @@ fn parallel_scans_agree_with_sequential_under_load() {
     });
 }
 
+/// Key-range sharded writers under a live merge daemon and pool-parallel
+/// scans, validated against sequential per-key `read_as_of` ground truth at
+/// frozen snapshot timestamps.
+///
+/// Each writer thread owns one table shard and updates only keys routed to
+/// it (`Table::shard_of_key`), so writers genuinely run on disjoint shard
+/// state; the scans must still observe one consistent cross-shard snapshot
+/// because commit timestamps come from the single global clock. Snapshot
+/// timestamps are captured at writer quiesce points, exactly as in
+/// `parallel_scans_agree_with_sequential_under_load` (a timestamp frozen
+/// mid-commit is not stable for any reader).
+#[test]
+fn sharded_writers_agree_with_sequential_ground_truth() {
+    const SHARDS: usize = 4;
+    let db = Database::new(
+        DbConfig::new() // merge daemon on
+            .with_scan_threads(4)
+            .with_shards(SHARDS),
+    );
+    let t = db
+        .create_table("shardstress", &["count", "bucket"], TableConfig::small())
+        .unwrap();
+    assert_eq!(t.shard_count(), SHARDS);
+    // 2048 keys = 8 stripes of 256 → every shard owns exactly 2 stripes.
+    const KEYS: u64 = 2048;
+    for k in 0..KEYS {
+        t.insert_auto(k, &[1, k % 5]).unwrap();
+    }
+    t.merge_all();
+    let owned: Vec<Vec<u64>> = (0..SHARDS)
+        .map(|s| (0..KEYS).filter(|&k| t.shard_of_key(k) == s).collect())
+        .collect();
+    assert!(owned
+        .iter()
+        .all(|keys| keys.len() == (KEYS as usize) / SHARDS));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let pause = Arc::new(AtomicBool::new(false));
+    let parked = Arc::new(AtomicU64::new(0));
+    let committed = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        // One writer per shard, incrementing only its own shard's keys.
+        for (w, keys) in owned.iter().enumerate() {
+            let db = Arc::clone(&db);
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            let pause = Arc::clone(&pause);
+            let parked = Arc::clone(&parked);
+            let committed = Arc::clone(&committed);
+            s.spawn(move || {
+                let mut rng = 0xfeed_beefu64 ^ ((w as u64) << 48);
+                while !stop.load(Ordering::Relaxed) {
+                    if pause.load(Ordering::SeqCst) {
+                        parked.fetch_add(1, Ordering::SeqCst);
+                        while pause.load(Ordering::SeqCst) && !stop.load(Ordering::Relaxed) {
+                            std::thread::yield_now();
+                        }
+                        parked.fetch_sub(1, Ordering::SeqCst);
+                        continue;
+                    }
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(13);
+                    let key = keys[(rng >> 19) as usize % keys.len()];
+                    let mut txn = db.begin_with(lstore::IsolationLevel::RepeatableRead);
+                    let ok = t
+                        .read(&mut txn, key, &[0])
+                        .ok()
+                        .flatten()
+                        .and_then(|v| t.update(&mut txn, key, &[(0, v[0] + 1)]).ok());
+                    match ok {
+                        Some(_) => {
+                            if db.commit(&mut txn).is_ok() {
+                                committed.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                        None => db.abort(&mut txn),
+                    }
+                }
+            });
+        }
+
+        for _ in 0..15 {
+            pause.store(true, Ordering::SeqCst);
+            while parked.load(Ordering::SeqCst) < SHARDS as u64 {
+                std::thread::yield_now();
+            }
+            let ts = t.now(); // no transaction in flight at this instant
+            pause.store(false, Ordering::SeqCst);
+
+            // Pool-parallel aggregates at the frozen snapshot…
+            let par_sum = t.sum_as_of(0, ts);
+            let par_count = t.count_as_of(ts);
+            let par_groups = t.group_by_sum(1, 0, ts);
+            let par_rows = t.scan_as_of(&[0], ts);
+            assert_eq!(par_sum, t.sum_as_of(0, ts), "sum stable at frozen ts");
+
+            // …against a sequential per-key reconstruction of the same
+            // snapshot (single-threaded, index-routed code path).
+            let mut seq_sum = 0u64;
+            let mut seq_count = 0u64;
+            let mut seq_groups = std::collections::BTreeMap::<u64, u64>::new();
+            let mut seq_rows = Vec::new();
+            for k in 0..KEYS {
+                if let Some(row) = t.read_as_of(k, &[0, 1], ts).unwrap() {
+                    seq_sum += row[0];
+                    seq_count += 1;
+                    *seq_groups.entry(row[1]).or_insert(0) += row[0];
+                    seq_rows.push((k, vec![row[0]]));
+                }
+            }
+            assert_eq!(par_sum, seq_sum, "parallel sum == sequential sum");
+            assert_eq!(par_count, seq_count, "parallel count == sequential");
+            assert_eq!(par_groups, seq_groups, "parallel groups == sequential");
+            assert_eq!(par_rows, seq_rows, "scan rows == sequential, key order");
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Quiesced ground truth: the sum equals exactly the committed
+    // increments (updates of merge-invalidated transactions are tombstones
+    // and contribute nothing), and per-shard stats add up to the
+    // table-wide view.
+    let total = committed.load(Ordering::SeqCst);
+    assert!(total > 0, "some transactions must have committed");
+    let final_sum = t.sum_auto(0);
+    let per_key: u64 = (0..KEYS).map(|k| t.read_latest_auto(k).unwrap()[0]).sum();
+    assert_eq!(final_sum, per_key);
+    assert_eq!(final_sum, KEYS + total, "every commit counted exactly once");
+    let table_stats = t.stats();
+    let shard_sum: u64 = (0..SHARDS).map(|s| t.shard_stats(s).updates).sum();
+    assert_eq!(
+        table_stats.updates, shard_sum,
+        "shard stats sum to table stats"
+    );
+    assert!(table_stats.updates >= total, "applied ≥ committed");
+    t.merge_all();
+    assert_eq!(t.sum_auto(0), final_sum, "merges change nothing");
+}
+
 /// Inserts from many threads with interleaved scans: no keys lost, no
 /// duplicates, ranges roll over correctly.
 #[test]

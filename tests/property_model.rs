@@ -200,6 +200,120 @@ proptest! {
         prop_assert_eq!(&answers[0], &answers[2], "scan_threads 1 vs 8");
     }
 
+    /// Key-range sharding is invisible to results: replaying one random
+    /// operation sequence into databases configured with `shards` of 1, 2,
+    /// and 8 produces byte-identical `read_as_of`, `sum_as_of`,
+    /// `group_by_sum`, and `scan_as_of` answers (plus `sum_cols_as_of`,
+    /// `count_as_of`, and `sum_key_range` for good measure) at every
+    /// recorded snapshot timestamp. Keys span several routing stripes
+    /// (stripe = `TableConfig::small()`'s 256-record insert-range size) so
+    /// shard counts above 1 genuinely split the key space, and the op
+    /// replay is clock-deterministic, so snapshot timestamps coincide
+    /// across all three databases.
+    #[test]
+    fn shard_counts_produce_identical_results(
+        ops in prop::collection::vec(
+            prop_oneof![
+                3 => (0u64..2048, prop::array::uniform3(0u64..1000))
+                    .prop_map(|(key, values)| Op::Insert { key, values }),
+                6 => (0u64..2048, 0usize..COLS, 0u64..1000)
+                    .prop_map(|(key, col, value)| Op::Update { key, col, value }),
+                1 => (0u64..2048).prop_map(|key| Op::Delete { key }),
+                1 => Just(Op::Merge),
+                2 => Just(Op::Snapshot),
+            ],
+            1..100,
+        )
+    ) {
+        let dbs: Vec<_> = [1usize, 2, 8]
+            .iter()
+            .map(|&s| {
+                let db = Database::new(DbConfig::deterministic().with_shards(s));
+                let t = db
+                    .create_table("shards", &["c0", "c1", "c2"], TableConfig::small())
+                    .unwrap();
+                (db, t)
+            })
+            .collect();
+        prop_assert_eq!(dbs[0].1.shard_count(), 1);
+        prop_assert_eq!(dbs[2].1.shard_count(), 8);
+
+        // Replay the identical sequence into every database, recording
+        // snapshot timestamps (which must agree: sharding never changes
+        // how many clock ticks an operation consumes).
+        let mut snapshots: Vec<u64> = Vec::new();
+        for op in &ops {
+            let mut stamps = Vec::new();
+            for (_, t) in &dbs {
+                match op {
+                    Op::Insert { key, values } => {
+                        let _ = t.insert_auto(*key, values);
+                    }
+                    Op::Update { key, col, value } => {
+                        let _ = t.update_auto(*key, &[(*col, *value)]);
+                    }
+                    Op::Delete { key } => {
+                        let _ = t.delete_auto(*key);
+                    }
+                    Op::Merge => {
+                        t.merge_all();
+                    }
+                    Op::CompressHistoric => {}
+                    Op::Snapshot => stamps.push(t.now()),
+                }
+            }
+            if let Op::Snapshot = op {
+                prop_assert!(stamps.windows(2).all(|w| w[0] == w[1]),
+                    "clocks diverged across shard counts: {:?}", stamps);
+                snapshots.push(stamps[0]);
+            }
+        }
+
+        // Byte-identical answers at every snapshot and at "now".
+        snapshots.push(dbs[0].1.now());
+        for &ts in &snapshots {
+            let answers: Vec<_> = dbs
+                .iter()
+                .map(|(_, t)| {
+                    (
+                        t.sum_as_of(0, ts),
+                        t.sum_cols_as_of(&[0, 1, 2], ts),
+                        t.count_as_of(ts),
+                        t.group_by_sum(1, 0, ts),
+                        t.scan_as_of(&[0, 1, 2], ts),
+                        t.sum_key_range(0, 0, 2047, ts),
+                    )
+                })
+                .collect();
+            prop_assert_eq!(&answers[0], &answers[1], "shards 1 vs 2 at ts {}", ts);
+            prop_assert_eq!(&answers[0], &answers[2], "shards 1 vs 8 at ts {}", ts);
+
+            // Per-key time travel through a different code path.
+            for key in 0..2048u64 {
+                let reads: Vec<_> = dbs
+                    .iter()
+                    .map(|(_, t)| t.read_as_of(key, &[0, 1, 2], ts).unwrap_or(None))
+                    .collect();
+                prop_assert_eq!(&reads[0], &reads[1], "read_as_of {} at {}", key, ts);
+                prop_assert_eq!(&reads[0], &reads[2], "read_as_of {} at {}", key, ts);
+            }
+        }
+
+        // Writer-side bookkeeping agrees in aggregate: per-shard stats sum
+        // to the single-shard table's counters.
+        let flat = dbs[0].1.stats();
+        for (_, t) in &dbs[1..] {
+            let mut total = lstore::stats::StatsSnapshot::default();
+            for s in 0..t.shard_count() {
+                total.absorb(&t.shard_stats(s));
+            }
+            prop_assert_eq!(total.inserts, flat.inserts);
+            prop_assert_eq!(total.updates, flat.updates);
+            prop_assert_eq!(total.deletes, flat.deletes);
+            prop_assert_eq!(t.stats().inserts, flat.inserts);
+        }
+    }
+
     /// The row-layout variant agrees with a model on latest state.
     #[test]
     fn row_table_matches_model(
