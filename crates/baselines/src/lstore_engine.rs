@@ -2,8 +2,9 @@
 //!
 //! The adapter wires the real engine into the harness with the paper's
 //! settings: short update transactions run under read-committed semantics,
-//! scans under snapshot isolation, the background merge daemon handles
-//! consolidation (one dedicated merge thread, §6.1).
+//! scans under snapshot isolation, and background merging handles
+//! consolidation — the paper's "one merge thread" (§6.1) is here one worker
+//! of the unified merge/scan task pool draining the per-shard merge queues.
 
 use std::sync::Arc;
 
@@ -25,20 +26,22 @@ impl LStoreEngine {
     }
 
     /// Create with a custom table configuration. Scans stay sequential
-    /// (`scan_threads = 1`) and the table keeps a single key-range shard
-    /// (`shards = 1`), matching the paper's evaluation setting of one scan
-    /// thread against one table (§6.1) so cross-engine comparisons measure
-    /// the same thing; use [`Self::with_configs`] to give the engine a scan
-    /// pool and/or writer shards.
+    /// (`pool_threads = 1`, which still leaves one pool worker draining the
+    /// merge queues in the background) and the table keeps a single
+    /// key-range shard (`shards = 1`), matching the paper's evaluation
+    /// setting of one scan thread and one merge thread against one table
+    /// (§6.1) so cross-engine comparisons measure the same thing; use
+    /// [`Self::with_configs`] to give the engine a wider pool and/or writer
+    /// shards.
     pub fn with_config(table_config: TableConfig) -> Self {
         Self::with_configs(
-            DbConfig::new().with_scan_threads(1).with_shards(1),
+            DbConfig::new().with_pool_threads(1).with_shards(1),
             table_config,
         )
     }
 
     /// Create with custom database and table configurations (the
-    /// `scan_threads` and `shards` axes of the benchmarks enter here).
+    /// `pool_threads` and `shards` axes of the benchmarks enter here).
     pub fn with_configs(db_config: DbConfig, table_config: TableConfig) -> Self {
         LStoreEngine {
             db: Database::new(db_config),
@@ -140,7 +143,7 @@ impl Engine for LStoreEngine {
     }
 
     fn maintain(&self) -> bool {
-        // The background merge daemon already consumes the merge queue; a
+        // The pool workers already drain the per-shard merge queues; a
         // manual sweep here merges anything above threshold synchronously
         // when the harness drives maintenance itself.
         let table = self.table();

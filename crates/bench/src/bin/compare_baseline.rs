@@ -36,7 +36,17 @@
 //!   are the stronger check;
 //! * `BENCH_BASELINE_ALLOW_MISSING` — set to `1` to tolerate baseline cells
 //!   absent from the current report (default: that is a failure, because it
-//!   means the bench shape changed without regenerating the baseline).
+//!   means the bench shape changed without regenerating the baseline);
+//! * `BENCH_FAIL_ON_NEW` — cells present in the current report but absent
+//!   from the baseline are always reported (they are otherwise easy to
+//!   miss: a freshly added metric that never gets a baseline cell is a
+//!   metric the gate silently ignores forever); set to `1` to turn those
+//!   warnings into failures so new bench cells cannot rot ungated;
+//! * `BENCH_ONLY` — comma-separated experiment-name prefixes; when set,
+//!   both reports are restricted to matching experiments before comparing.
+//!   This is how one CI matrix leg gates one runner's experiments against
+//!   the shared baseline file without tripping missing-cell strictness on
+//!   the other legs' cells.
 //!
 //! Exit status is non-zero when any comparison fails, which is what lets the
 //! CI bench-smoke job gate merges on the committed perf trajectory.
@@ -235,6 +245,9 @@ struct GateOptions {
     /// Divide every ratio by the run-wide median before judging
     /// (`BENCH_NORMALIZE=1` hardware calibration).
     normalize: bool,
+    /// Treat current-report cells absent from the baseline as failures
+    /// (`BENCH_FAIL_ON_NEW=1`); they warn either way.
+    fail_on_new: bool,
 }
 
 /// Gate outcome: what was compared and what failed.
@@ -242,8 +255,11 @@ struct GateOptions {
 struct GateOutcome {
     /// Cells present on both sides and numerically comparable.
     compared: usize,
-    /// Missing-cell failures plus regressed (experiment, cell) groups.
+    /// Missing-cell failures plus regressed (experiment, cell) groups
+    /// (plus unbaselined-cell failures under `fail_on_new`).
     failures: usize,
+    /// Current-report cells with no baseline counterpart — ungated metrics.
+    unbaselined: usize,
 }
 
 /// Compare a current report against the baseline and produce the verdict.
@@ -325,7 +341,53 @@ fn gate(
             failures += 1;
         }
     }
-    GateOutcome { compared, failures }
+    // The reverse direction: current-report cells the baseline has never
+    // heard of are metrics the gate is not covering. Surface them loudly —
+    // and fail under BENCH_FAIL_ON_NEW so a freshly added bench cell forces
+    // a baseline regeneration instead of rotting ungated.
+    let mut unbaselined = 0usize;
+    for key in current.keys() {
+        if baseline.contains_key(key) {
+            continue;
+        }
+        unbaselined += 1;
+        let (experiment, label, cell) = key;
+        let id = format!("{experiment} / {label} / {cell}");
+        if options.fail_on_new {
+            eprintln!(
+                "  FAIL {id}: not in baseline — regenerate bench/baseline.json \
+                 so the new cell is gated"
+            );
+            failures += 1;
+        } else {
+            eprintln!("  WARN {id}: not in baseline — this metric is ungated");
+        }
+    }
+    GateOutcome {
+        compared,
+        failures,
+        unbaselined,
+    }
+}
+
+/// Restrict a report to experiments matching any of the comma-separated
+/// `BENCH_ONLY` prefixes (no-op for an empty filter).
+fn filter_experiments(
+    report: BTreeMap<Key, (f64, Direction)>,
+    only: &str,
+) -> BTreeMap<Key, (f64, Direction)> {
+    let prefixes: Vec<&str> = only
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .collect();
+    if prefixes.is_empty() {
+        return report;
+    }
+    report
+        .into_iter()
+        .filter(|((experiment, _, _), _)| prefixes.iter().any(|p| experiment.starts_with(p)))
+        .collect()
 }
 
 fn main() -> ExitCode {
@@ -336,6 +398,7 @@ fn main() -> ExitCode {
         pct,
         allow_missing: env_or("BENCH_BASELINE_ALLOW_MISSING", "0") == "1",
         normalize: env_or("BENCH_NORMALIZE", "0") == "1",
+        fail_on_new: env_or("BENCH_FAIL_ON_NEW", "0") == "1",
     };
 
     let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
@@ -347,16 +410,28 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let only = env_or("BENCH_ONLY", "");
+    let (baseline, current) = (
+        filter_experiments(baseline, &only),
+        filter_experiments(current, &only),
+    );
     if baseline.is_empty() {
-        eprintln!("compare_baseline: no comparable rows in {baseline_path}");
+        eprintln!(
+            "compare_baseline: no comparable rows in {baseline_path}{}",
+            if only.is_empty() {
+                String::new()
+            } else {
+                format!(" (BENCH_ONLY={only})")
+            }
+        );
         return ExitCode::FAILURE;
     }
 
     println!("comparing {current_path} against {baseline_path} (threshold {pct}%)");
     let outcome = gate(&baseline, &current, options);
     println!(
-        "{} cells compared, {} failures",
-        outcome.compared, outcome.failures
+        "{} cells compared, {} failures, {} unbaselined",
+        outcome.compared, outcome.failures, outcome.unbaselined
     );
     if outcome.failures > 0 {
         eprintln!(
@@ -470,6 +545,7 @@ mod tests {
             pct,
             allow_missing,
             normalize,
+            fail_on_new: false,
         }
     }
 
@@ -482,7 +558,8 @@ mod tests {
             outcome,
             GateOutcome {
                 compared: 2,
-                failures: 0
+                failures: 0,
+                unbaselined: 0
             }
         );
     }
@@ -523,7 +600,82 @@ mod tests {
             lax,
             GateOutcome {
                 compared: 1,
-                failures: 0
+                failures: 0,
+                unbaselined: 0
+            }
+        );
+    }
+
+    #[test]
+    fn gate_reports_unbaselined_cells_and_fails_under_fail_on_new() {
+        // The current report grew a cell the baseline has never seen (a
+        // fresh fig8 metric, say): warned by default, counted either way…
+        let baseline = load_str(&report(&[("t1", "A", "1.0")]), "b").unwrap();
+        let current = load_str(&report(&[("t1", "A", "1.0"), ("t1", "B", "2.0")]), "c").unwrap();
+        let warned = gate(&baseline, &current, opts(30.0, false, false));
+        assert_eq!(
+            warned,
+            GateOutcome {
+                compared: 1,
+                failures: 0,
+                unbaselined: 1
+            }
+        );
+        // …and a failure under BENCH_FAIL_ON_NEW=1, so the new cell cannot
+        // stay ungated.
+        let strict = gate(
+            &baseline,
+            &current,
+            GateOptions {
+                fail_on_new: true,
+                ..opts(30.0, false, false)
+            },
+        );
+        assert_eq!(
+            strict,
+            GateOutcome {
+                compared: 1,
+                failures: 1,
+                unbaselined: 1
+            }
+        );
+    }
+
+    #[test]
+    fn bench_only_filter_restricts_both_sides_by_experiment_prefix() {
+        let mixed = "{\"type\":\"row\",\"experiment\":\"Figure 7 (low)\",\"label\":\"l\",\"cells\":{\"A\":\"1.0\"}}\n\
+                     {\"type\":\"row\",\"experiment\":\"Figure 8\",\"label\":\"l\",\"cells\":{\"scan\":\"0.5s\"}}";
+        let loaded = load_str(mixed, "m").unwrap();
+        assert_eq!(loaded.len(), 2);
+        let fig8 = filter_experiments(loaded.clone(), "Figure 8");
+        assert_eq!(fig8.len(), 1);
+        assert!(fig8.keys().all(|(e, _, _)| e == "Figure 8"));
+        // Comma-separated prefixes union; empty filter is the identity.
+        assert_eq!(
+            filter_experiments(loaded.clone(), "Figure 7,Figure 8").len(),
+            2
+        );
+        assert_eq!(filter_experiments(loaded.clone(), " ").len(), 2);
+        assert_eq!(filter_experiments(loaded, "Table 9").len(), 0);
+        // A filtered gate compares only the surviving experiment: the
+        // fig7-only current report no longer "misses" fig8's baseline cell.
+        let baseline = load_str(mixed, "b").unwrap();
+        let current = load_str(
+            "{\"type\":\"row\",\"experiment\":\"Figure 7 (low)\",\"label\":\"l\",\"cells\":{\"A\":\"1.0\"}}",
+            "c",
+        )
+        .unwrap();
+        let outcome = gate(
+            &filter_experiments(baseline, "Figure 7"),
+            &filter_experiments(current, "Figure 7"),
+            opts(30.0, false, false),
+        );
+        assert_eq!(
+            outcome,
+            GateOutcome {
+                compared: 1,
+                failures: 0,
+                unbaselined: 0
             }
         );
     }

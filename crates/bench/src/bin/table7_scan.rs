@@ -1,7 +1,7 @@
 //! Table 7: single-threaded scan seconds for L-Store vs IUH vs DBM with 16
 //! concurrent update threads (low contention, 4K update ranges), plus the
-//! engine's `scan_threads` axis: the same L-Store scan fanned out across a
-//! worker pool of each swept width.
+//! engine's `pool_threads` axis: the same L-Store scan fanned out across a
+//! unified task pool of each swept width.
 
 use std::sync::Arc;
 
@@ -41,20 +41,20 @@ fn main() {
         ],
     );
 
-    // The scan_threads axis: same workload, L-Store only, scan pool width
-    // swept (BENCH_SCAN_THREADS, default 1,4).
+    // The pool_threads axis: same workload, L-Store only, task-pool width
+    // swept (BENCH_POOL_THREADS / BENCH_SCAN_THREADS, default 1,4).
     report::header(
         "Table 7 (scan_threads)",
         &format!(
-            "L-Store scan seconds vs scan pool width, 16 update threads; rows={}",
+            "L-Store scan seconds vs task-pool width, 16 update threads; rows={}",
             config.rows
         ),
     );
-    let widths = setup::scan_thread_sweep();
+    let widths = setup::pool_thread_sweep();
     let axis = scan_thread_axis(
         |w| {
             let engine = LStoreEngine::with_configs(
-                DbConfig::new().with_scan_threads(w),
+                DbConfig::new().with_pool_threads(w),
                 TableConfig::default().with_range_size(4096),
             );
             engine.populate(config.rows, config.cols);

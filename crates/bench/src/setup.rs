@@ -28,20 +28,47 @@ pub fn window() -> Duration {
 
 /// Thread counts to sweep (env `BENCH_THREADS`, comma-separated).
 pub fn thread_sweep() -> Vec<usize> {
-    std::env::var("BENCH_THREADS")
-        .ok()
-        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
-        .unwrap_or_else(|| vec![1, 2, 4, 8])
+    usize_list("BENCH_THREADS").unwrap_or_else(|| vec![1, 2, 4, 8])
 }
 
-/// Scan worker-pool widths to sweep (env `BENCH_SCAN_THREADS`,
-/// comma-separated; default `1,4` — sequential baseline vs a 4-wide pool).
-pub fn scan_thread_sweep() -> Vec<usize> {
-    std::env::var("BENCH_SCAN_THREADS")
+/// Update-thread counts for the fig8 merge-lag experiment: `BENCH_THREADS`
+/// when set, else the paper's 4 and 16 concurrent update threads.
+pub fn fig8_thread_sweep() -> Vec<usize> {
+    usize_list("BENCH_THREADS").unwrap_or_else(|| vec![4, 16])
+}
+
+/// Parse a comma-separated usize list from the environment.
+fn usize_list(name: &str) -> Option<Vec<usize>> {
+    std::env::var(name)
         .ok()
         .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
         .filter(|v: &Vec<usize>| !v.is_empty())
+}
+
+/// Unified task-pool widths to sweep (env `BENCH_POOL_THREADS`, with
+/// `BENCH_SCAN_THREADS` as the pre-unification alias; comma-separated;
+/// default `1,4` — sequential baseline vs a 4-wide pool).
+pub fn pool_thread_sweep() -> Vec<usize> {
+    usize_list("BENCH_POOL_THREADS")
+        .or_else(|| usize_list("BENCH_SCAN_THREADS"))
         .unwrap_or_else(|| vec![1, 4])
+}
+
+/// Tail records per merge trigger to sweep in the fig8 merge-lag
+/// experiment (env `BENCH_MERGE_BATCHES`, comma-separated).
+pub fn merge_batch_sweep() -> Vec<usize> {
+    usize_list("BENCH_MERGE_BATCHES").unwrap_or_else(|| vec![256, 512, 1024, 2048, 4096])
+}
+
+/// Timed scan repetitions per measured cell (env `BENCH_SCAN_ITERS`,
+/// default 3; CI smoke runs raise it — tiny tables make single scans too
+/// short to time stably).
+pub fn scan_iters() -> usize {
+    std::env::var("BENCH_SCAN_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
 }
 
 /// Key-range shard counts to sweep (env `BENCH_SHARDS`, comma-separated;
@@ -49,11 +76,7 @@ pub fn scan_thread_sweep() -> Vec<usize> {
 /// The fig7 runner adds an L-Store row per value above 1; the base
 /// cross-engine rows always run with one shard.
 pub fn shard_sweep() -> Vec<usize> {
-    std::env::var("BENCH_SHARDS")
-        .ok()
-        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
-        .filter(|v: &Vec<usize>| !v.is_empty())
-        .unwrap_or_else(|| vec![1, 4])
+    usize_list("BENCH_SHARDS").unwrap_or_else(|| vec![1, 4])
 }
 
 /// Build a populated engine of each architecture for `config`.
@@ -81,7 +104,7 @@ pub fn lstore_engine(config: &WorkloadConfig) -> Arc<LStoreEngine> {
 /// the axis isolates writer-side scaling).
 pub fn lstore_sharded_engine(config: &WorkloadConfig, shards: usize) -> Arc<LStoreEngine> {
     let e = Arc::new(LStoreEngine::with_configs(
-        DbConfig::new().with_scan_threads(1).with_shards(shards),
+        DbConfig::new().with_pool_threads(1).with_shards(shards),
         TableConfig::default(),
     ));
     e.populate(config.rows, config.cols);

@@ -98,14 +98,19 @@ pub struct DbConfig {
     pub wal_path: Option<PathBuf>,
     /// fsync on commit when the WAL is enabled.
     pub sync_on_commit: bool,
-    /// Spawn the background merge daemon (Fig. 5's merge thread). Disable
-    /// for single-threaded deterministic tests that call `merge_now`.
+    /// Run merges in the background on the shared task pool (Fig. 5's merge
+    /// queue; requests route to per-shard injector queues). Disable for
+    /// single-threaded deterministic tests, where merges then run only
+    /// inline on the caller (`merge_now` / `merge_all`).
     pub background_merge: bool,
-    /// Width of the shared scan worker pool: how many threads a single
+    /// Width of the shared merge/scan task pool: how many threads a single
     /// analytical query (`sum_as_of`, `scan_as_of`, `group_by_sum`, …) may
-    /// fan out across. `1` keeps scans strictly sequential on the calling
-    /// thread; the pool is spawned lazily on the first parallel scan.
-    pub scan_threads: usize,
+    /// fan out across, and the workers that drain the per-shard merge
+    /// queues. `1` keeps scans strictly sequential on the calling thread
+    /// (background merges, when enabled, still get one worker); the pool is
+    /// spawned lazily on the first parallel scan or merge enqueue.
+    /// Supersedes the pre-unification `scan_threads` knob.
+    pub pool_threads: usize,
     /// Number of key-range shards per table: the key space splits into
     /// contiguous stripes of `TableConfig::insert_range_size` keys, assigned
     /// round-robin to shards, and each shard owns its own primary-index
@@ -123,9 +128,9 @@ impl Default for DbConfig {
 }
 
 impl DbConfig {
-    /// In-memory database with a live merge daemon (the common case). Scans
-    /// fan out across all available cores, and tables shard their key space
-    /// across as many writer shards.
+    /// In-memory database with live background merging (the common case).
+    /// Scans fan out across all available cores, and tables shard their key
+    /// space across as many writer shards.
     pub fn new() -> Self {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -134,20 +139,21 @@ impl DbConfig {
             wal_path: None,
             sync_on_commit: false,
             background_merge: true,
-            scan_threads: cores,
+            pool_threads: cores,
             shards: cores,
         }
     }
 
-    /// Deterministic configuration: no daemon, merges run only on demand,
-    /// scans stay sequential (`scan_threads = 1`), one table shard
-    /// (`shards = 1`).
+    /// Deterministic configuration: no background merging (merges run only
+    /// inline, on demand, via `merge_now`/`merge_all`), scans stay
+    /// sequential (`pool_threads = 1`), one table shard (`shards = 1`) —
+    /// every operation single-threaded and repeatable.
     pub fn deterministic() -> Self {
         DbConfig {
             wal_path: None,
             sync_on_commit: false,
             background_merge: false,
-            scan_threads: 1,
+            pool_threads: 1,
             shards: 1,
         }
     }
@@ -159,15 +165,45 @@ impl DbConfig {
         self
     }
 
-    /// Set the scan worker-pool width (clamped to ≥ 1).
-    pub fn with_scan_threads(mut self, scan_threads: usize) -> Self {
-        self.scan_threads = scan_threads.max(1);
+    /// Set the unified merge/scan task-pool width (clamped to ≥ 1).
+    pub fn with_pool_threads(mut self, pool_threads: usize) -> Self {
+        self.pool_threads = pool_threads.max(1);
         self
+    }
+
+    /// Deprecated alias for [`DbConfig::with_pool_threads`], from before the
+    /// merge daemon and the scan pool were unified into one task scheduler.
+    #[deprecated(note = "use with_pool_threads")]
+    pub fn with_scan_threads(self, scan_threads: usize) -> Self {
+        self.with_pool_threads(scan_threads)
     }
 
     /// Set the per-table key-range shard count (clamped to ≥ 1).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
         self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(deprecated)]
+    fn scan_threads_alias_sets_pool_threads() {
+        // Pre-unification callers keep working: the deprecated builder is a
+        // pure alias for the pool width.
+        let config = DbConfig::new().with_scan_threads(6);
+        assert_eq!(config.pool_threads, 6);
+        assert_eq!(DbConfig::new().with_scan_threads(0).pool_threads, 1);
+    }
+
+    #[test]
+    fn deterministic_pins_single_threaded_inline_merges() {
+        let config = DbConfig::deterministic();
+        assert_eq!(config.pool_threads, 1);
+        assert_eq!(config.shards, 1);
+        assert!(!config.background_merge, "merges stay inline on demand");
     }
 }

@@ -1,18 +1,19 @@
-//! The database: shared runtime, transaction lifecycle, merge daemon.
+//! The database: shared runtime, transaction lifecycle, merge scheduling.
 //!
 //! The database ties the substrates together: the global clock and
 //! transaction manager (§5.1.1), the epoch manager for page reclamation
-//! (§4.1.1 step 5), the optional redo-only WAL (§5.1.3), and the background
-//! merge thread consuming the merge queue (Fig. 5: "writer threads place
-//! candidate tail pages to be merged into the merge queue while the merge
-//! thread continuously takes pages from the queue and processes them").
+//! (§4.1.1 step 5), the optional redo-only WAL (§5.1.3), and the merge
+//! queue of Fig. 5 ("writer threads place candidate tail pages to be merged
+//! into the merge queue"). There is no dedicated merge thread: requests go
+//! to the owning shard's injector queue on the unified
+//! [`TaskPool`], whose workers interleave merge jobs with scan partitions —
+//! see [`crate::pool`] for the scheduling discipline.
 
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock};
-use std::thread::JoinHandle;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 
 use lstore_storage::epoch::EpochManager;
 use lstore_txn::{GlobalClock, IsolationLevel, Transaction, TxnManager};
@@ -20,15 +21,8 @@ use lstore_wal::{LogRecord, Wal, WalConfig};
 
 use crate::config::{DbConfig, TableConfig};
 use crate::error::{Error, Result};
-use crate::pool::ScanPool;
+use crate::pool::TaskPool;
 use crate::table::Table;
-
-/// A merge request: table + range (the "merge queue" of Fig. 5).
-#[derive(Debug, Clone, Copy)]
-enum MergeMsg {
-    Merge { table_id: u32, range_id: u32 },
-    Shutdown,
-}
 
 /// Shared engine runtime handed to every table.
 pub struct Runtime {
@@ -40,43 +34,127 @@ pub struct Runtime {
     pub epoch: EpochManager,
     /// Optional redo-only WAL.
     pub wal: Option<Arc<Wal>>,
-    merge_tx: Mutex<Option<Sender<MergeMsg>>>,
-    /// Configured scan fan-out width (`DbConfig::scan_threads`).
-    scan_threads: usize,
+    /// Configured scan fan-out width (`DbConfig::pool_threads`).
+    pool_threads: usize,
+    /// Whether writers may queue background merges (`DbConfig::background_merge`).
+    background_merge: bool,
     /// Configured per-table key-range shard count (`DbConfig::shards`).
     shards: usize,
-    /// Shared scan worker pool, spawned lazily on the first parallel scan so
-    /// purely transactional databases never pay for idle scan threads.
-    scan_pool: OnceLock<Option<ScanPool>>,
+    /// The unified merge/scan worker pool, spawned lazily on the first
+    /// parallel scan or merge enqueue so purely transactional databases
+    /// with merging disabled never pay for idle threads.
+    pool: OnceLock<Option<TaskPool>>,
+    /// Tables by id, for resolving queued merge jobs. Weak: the pool must
+    /// never keep a dropped database's tables alive.
+    merge_tables: RwLock<Vec<Weak<Table>>>,
+    /// Set by [`Runtime::shutdown`]: merge enqueues return false from here
+    /// on (the enqueue-returns-false-when-stopped contract).
+    stopped: AtomicBool,
 }
 
 impl Runtime {
-    /// Enqueue a merge request; false when no daemon is running.
-    pub(crate) fn enqueue_merge(&self, table_id: u32, range_id: u32) -> bool {
-        match &*self.merge_tx.lock() {
-            Some(tx) => tx.send(MergeMsg::Merge { table_id, range_id }).is_ok(),
-            None => false,
-        }
+    /// The unified pool, or `None` when the configuration needs no worker
+    /// threads at all (`pool_threads <= 1` and background merging off).
+    /// First call spawns the workers. A width-1 configuration with
+    /// background merging on still gets one worker — the successor of the
+    /// old dedicated merge daemon — but scans stay on the caller.
+    fn pool(&self) -> Option<&TaskPool> {
+        self.pool
+            .get_or_init(|| {
+                let workers = if self.background_merge {
+                    // At least one worker so merges run in the background
+                    // even when scans are configured sequential.
+                    self.pool_threads.max(2) - 1
+                } else {
+                    self.pool_threads.saturating_sub(1)
+                };
+                if workers == 0 {
+                    None
+                } else {
+                    Some(TaskPool::new(self.pool_threads, workers, self.shards))
+                }
+            })
+            .as_ref()
     }
 
-    /// The shared scan pool, or `None` when `scan_threads <= 1`. First call
-    /// spawns the workers, so callers should check that there is actually
-    /// work to split before asking for the pool.
-    pub(crate) fn scan_pool(&self) -> Option<&ScanPool> {
-        self.scan_pool
-            .get_or_init(|| ScanPool::for_width(self.scan_threads))
-            .as_ref()
+    /// Route a merge request to the owning shard's injector queue on the
+    /// pool; false when background merging is off or the pool has stopped
+    /// (database dropping) — the caller then clears the range's
+    /// merge-pending claim and leaves the work to manual merges.
+    pub(crate) fn enqueue_merge(&self, table_id: u32, shard: u32, range_id: u32) -> bool {
+        if !self.background_merge || self.stopped.load(Ordering::Acquire) {
+            return false;
+        }
+        let Some(table) = self.merge_tables.read().get(table_id as usize).cloned() else {
+            return false;
+        };
+        let Some(pool) = self.pool() else {
+            return false;
+        };
+        pool.enqueue_merge(
+            shard as usize,
+            Box::new(move || {
+                if let Some(t) = table.upgrade() {
+                    t.process_merge(range_id);
+                    t.runtime.epoch.try_reclaim();
+                }
+            }),
+        )
+    }
+
+    /// Register a table for merge-job resolution (index = table id).
+    pub(crate) fn register_table(&self, table: &Arc<Table>) {
+        self.merge_tables.write().push(Arc::downgrade(table));
+    }
+
+    /// The pool as seen by scans, or `None` when `pool_threads <= 1`
+    /// (sequential scans on the caller, even if a merge worker exists).
+    pub(crate) fn scan_pool(&self) -> Option<&TaskPool> {
+        if self.pool_threads <= 1 {
+            None
+        } else {
+            self.pool()
+        }
     }
 
     /// Configured fan-out width — how many partitions a scan should plan
     /// for. Does not spawn the pool.
     pub(crate) fn scan_width(&self) -> usize {
-        self.scan_threads
+        self.pool_threads
     }
 
     /// Configured per-table key-range shard count.
     pub(crate) fn shard_count(&self) -> usize {
         self.shards
+    }
+
+    /// Block until every queued merge job has executed.
+    pub(crate) fn drain_merges(&self) {
+        if let Some(Some(pool)) = self.pool.get() {
+            pool.drain_merges();
+        }
+    }
+
+    /// The pool, but only if some call already spawned (or pinned) it —
+    /// never triggers the lazy spawn itself.
+    #[cfg(test)]
+    pub(crate) fn spawned_pool(&self) -> Option<&TaskPool> {
+        self.pool.get().and_then(|p| p.as_ref())
+    }
+
+    /// Stop accepting merge enqueues, drain the queues, join the workers.
+    pub(crate) fn shutdown(&self) {
+        self.stopped.store(true, Ordering::Release);
+        // Force the lazy-init cell to a decision. A never-spawned pool is
+        // pinned to `None` so a racing `enqueue_merge` that passed its
+        // `stopped` check cannot resurrect a fresh pool after this returns;
+        // if such a racer is mid-spawn inside `get_or_init`, the `OnceLock`
+        // serializes us behind it and we shut the new pool down (draining
+        // whatever the racer enqueued). Either way no worker outlives
+        // `Database::drop`.
+        if let Some(pool) = self.pool.get_or_init(|| None) {
+            pool.shutdown();
+        }
     }
 }
 
@@ -85,8 +163,6 @@ pub struct Database {
     runtime: Arc<Runtime>,
     tables: RwLock<HashMap<String, Arc<Table>>>,
     tables_by_id: RwLock<Vec<Arc<Table>>>,
-    merge_thread: Mutex<Option<JoinHandle<()>>>,
-    config: DbConfig,
 }
 
 impl Database {
@@ -109,22 +185,18 @@ impl Database {
             mgr: TxnManager::new(),
             epoch: EpochManager::new(),
             wal,
-            merge_tx: Mutex::new(None),
-            scan_threads: config.scan_threads.max(1),
+            pool_threads: config.pool_threads.max(1),
+            background_merge: config.background_merge,
             shards: config.shards.max(1),
-            scan_pool: OnceLock::new(),
+            pool: OnceLock::new(),
+            merge_tables: RwLock::new(Vec::new()),
+            stopped: AtomicBool::new(false),
         });
-        let db = Arc::new(Database {
+        Arc::new(Database {
             runtime,
             tables: RwLock::new(HashMap::new()),
             tables_by_id: RwLock::new(Vec::new()),
-            merge_thread: Mutex::new(None),
-            config,
-        });
-        if db.config.background_merge {
-            db.start_merge_daemon();
-        }
-        db
+        })
     }
 
     /// In-memory database with default settings.
@@ -132,29 +204,11 @@ impl Database {
         Database::new(DbConfig::new())
     }
 
-    fn start_merge_daemon(self: &Arc<Self>) {
-        let (tx, rx): (Sender<MergeMsg>, Receiver<MergeMsg>) = unbounded();
-        *self.runtime.merge_tx.lock() = Some(tx);
-        let weak = Arc::downgrade(self);
-        let handle = std::thread::Builder::new()
-            .name("lstore-merge".into())
-            .spawn(move || {
-                while let Ok(msg) = rx.recv() {
-                    match msg {
-                        MergeMsg::Shutdown => break,
-                        MergeMsg::Merge { table_id, range_id } => {
-                            let Some(db) = weak.upgrade() else { break };
-                            let table = db.tables_by_id.read().get(table_id as usize).cloned();
-                            if let Some(t) = table {
-                                t.process_merge(range_id);
-                            }
-                            db.runtime.epoch.try_reclaim();
-                        }
-                    }
-                }
-            })
-            .expect("spawn merge daemon");
-        *self.merge_thread.lock() = Some(handle);
+    /// Block until every queued background merge has executed — after this,
+    /// all shards' merge queues are empty and no merge is in flight (tests
+    /// and checkpoints use it to observe quiesced shards).
+    pub fn drain_merges(&self) {
+        self.runtime.drain_merges();
     }
 
     /// Access the shared runtime (clock, transaction manager, epochs).
@@ -173,6 +227,7 @@ impl Database {
         let id = by_id.len() as u32;
         let table = Table::create(id, name, value_columns, config, Arc::clone(&self.runtime))?;
         by_id.push(Arc::clone(&table));
+        self.runtime.register_table(&table);
         self.tables
             .write()
             .insert(name.to_string(), Arc::clone(&table));
@@ -268,12 +323,11 @@ impl Database {
 
 impl Drop for Database {
     fn drop(&mut self) {
-        if let Some(tx) = self.runtime.merge_tx.lock().take() {
-            let _ = tx.send(MergeMsg::Shutdown);
-        }
-        if let Some(h) = self.merge_thread.lock().take() {
-            let _ = h.join();
-        }
+        // Quiesce while the tables are still alive: stop accepting merge
+        // enqueues, let the pool workers drain every shard's queue, then
+        // join them — checkpoints and tests observing the dropped database's
+        // files see fully merged shards, never half-applied queues.
+        self.runtime.shutdown();
         if let Some(wal) = &self.runtime.wal {
             let _ = wal.flush();
         }
@@ -380,5 +434,26 @@ impl Table {
         // remove sealed behind abort handling.
         self.pk_remove_inner(key);
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shutdown_pins_never_spawned_pool_and_refuses_enqueues() {
+        let db = Database::new(DbConfig::new().with_pool_threads(4));
+        let table = db
+            .create_table("quiesce", &["v"], TableConfig::default())
+            .unwrap();
+        assert!(table.runtime.spawned_pool().is_none(), "pool spawns lazily");
+        db.runtime.shutdown();
+        // The lazy-init cell is pinned: a racing enqueue that reaches the
+        // pool after shutdown finds `None` instead of resurrecting workers,
+        // and the enqueue contract reports the stop.
+        assert!(!db.runtime.enqueue_merge(table.id, 0, 0));
+        assert!(db.runtime.spawned_pool().is_none(), "no pool resurrected");
+        drop(db);
     }
 }

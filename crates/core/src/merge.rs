@@ -5,7 +5,12 @@
 //! lineage in-page via the TPS counter. By construction it only touches
 //! stable data (Lemma 1): committed tail records and read-only base pages;
 //! its only foreground action is the page-directory pointer swap, and the
-//! outdated pages retire through the epoch queue (Fig. 6).
+//! outdated pages retire through the epoch queue (Fig. 6). That stability
+//! argument is thread-agnostic: [`merge_range`] runs identically from the
+//! caller (`Table::merge_now`), from any worker of the unified task pool
+//! draining a shard's merge queue ([`crate::pool`]), or concurrently for
+//! *different* ranges — only the per-range merge-pending claim serializes
+//! passes over one range.
 //!
 //! Step map to Algorithm 1:
 //! 1. [`committed_prefix`] — identify consecutive committed tail records.

@@ -1,31 +1,169 @@
-//! Shared worker pool for parallel analytical scans.
+//! Unified merge/scan task scheduler shared by all tables of a database.
 //!
-//! The paper's evaluation runs "(at least) one scan thread" (§6.1); the
-//! engine itself, however, can execute a *single* scan on many cores: the
-//! epoch discipline of §4.1.1 makes per-range work embarrassingly parallel
-//! (each range's base version is an immutable snapshot, and outdated pages
-//! survive until every pinned reader drains). The pool is shared by all
-//! tables of a database and sized by [`crate::DbConfig::scan_threads`].
+//! The paper's evaluation runs "(at least) one scan thread" and one merge
+//! thread (§6.1); Fig. 5's queue decouples the writers that *produce* merge
+//! candidates from the consumer that processes them. Both kinds of
+//! background work are embarrassingly parallel under the epoch discipline of
+//! §4.1.1 — a scan's per-range partitions read immutable base snapshots, and
+//! the relaxed merge (§4.1, Lemma 1) touches only stable data — so neither
+//! needs a *dedicated* thread. The pool therefore runs one set of workers
+//! that drain two kinds of work:
 //!
-//! Workers are long-lived threads consuming closures from an unbounded MPMC
-//! channel. [`ScanPool::run`] fans a batch of tasks out, runs the first task
-//! on the calling thread (the caller is a core too), and blocks until every
-//! task finished — which is what makes handing non-`'static` borrows to the
-//! workers sound: no task can outlive the call that lent it the borrow.
+//! * **Scan tasks**: type-erased closures fanned out by [`TaskPool::run`],
+//!   which executes the first task on the calling thread (the caller is a
+//!   core too) and blocks until every task finished — which is what makes
+//!   handing non-`'static` borrows to the workers sound.
+//! * **Merge jobs**: queued by writers through per-shard *injector queues*
+//!   ([`TaskPool::enqueue_merge`]). Table shards own disjoint key ranges
+//!   (see [`crate::shard`]), so merges of different shards need no mutual
+//!   ordering and drain fully independently; within one shard a busy-claim
+//!   serializes execution, preserving the shard's FIFO enqueue order.
+//!
+//! Workers alternate between the two queues whenever both hold work (a
+//! worker that just ran a scan task prefers a merge job next, and vice
+//! versa), so idle scan capacity is stolen for merges under write-heavy
+//! load and merge capacity for scans under read-heavy load — no thread
+//! idles while the other queue is backed up, and a saturated scan pool
+//! cannot starve merge progress (Fig. 8's mixed merge+scan workloads).
+//!
+//! [`TaskPool::shutdown`] drains the merge queues before joining the
+//! workers, so dropping a database leaves every shard quiesced.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
 
 /// A type-erased unit of pool work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// Fixed-size pool of scan worker threads.
-pub struct ScanPool {
-    tx: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+/// A queued merge job (resolves its table weakly; a no-op once dropped).
+pub type MergeJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// One shard's merge injector queue. `busy` is the claim that serializes
+/// execution per shard: one worker drains one job at a time, so jobs run in
+/// enqueue order — the per-shard analogue of Fig. 5's single merge thread.
+struct MergeShard {
+    jobs: Mutex<VecDeque<MergeJob>>,
+    busy: AtomicBool,
+}
+
+/// Shared scheduler state between the pool handle and its workers.
+struct Scheduler {
+    /// Scan tasks, drained in FIFO order by whichever worker is free.
+    scans: Mutex<VecDeque<Job>>,
+    /// Wakes workers when either queue gains work (paired with `scans`).
+    work: Condvar,
+    /// Wakes [`Scheduler::drain_merges`] waiters when a merge completes
+    /// (paired with `scans`).
+    quiesced: Condvar,
+    /// Per-shard merge injector queues.
+    shards: Box<[MergeShard]>,
+    /// Merge jobs queued but not yet claimed (fast empty check).
+    merge_pending: AtomicUsize,
+    /// Merge jobs claimed and currently executing.
+    merge_inflight: AtomicUsize,
+    /// Round-robin hint so workers spread over shards.
+    next_shard: AtomicUsize,
+    /// Set once at shutdown: no new merge enqueues, workers exit when both
+    /// queues are empty.
+    stopped: AtomicBool,
+}
+
+impl Scheduler {
+    /// Pop and run one scan task; false when the scan queue is empty.
+    fn run_one_scan(&self) -> bool {
+        let job = self.scans.lock().pop_front();
+        match job {
+            Some(job) => {
+                job(); // panics are caught inside the closure (see `run`)
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Claim one shard's merge queue and run its front job; false when no
+    /// merge work is claimable right now (empty queues or all busy).
+    fn run_one_merge(&self) -> bool {
+        if self.merge_pending.load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        let n = self.shards.len();
+        let start = self.next_shard.fetch_add(1, Ordering::Relaxed);
+        for i in 0..n {
+            let shard = &self.shards[(start + i) % n];
+            if shard
+                .busy
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue; // another worker is draining this shard
+            }
+            let job = shard.jobs.lock().pop_front();
+            let Some(job) = job else {
+                shard.busy.store(false, Ordering::Release);
+                continue;
+            };
+            // Inflight up *before* pending down: `merges_quiesced` must
+            // never observe both at zero while a claimed job has yet to run.
+            self.merge_inflight.fetch_add(1, Ordering::AcqRel);
+            self.merge_pending.fetch_sub(1, Ordering::AcqRel);
+            // A panicking merge must not kill the worker or wedge the
+            // shard's busy claim; the range-level merge-pending claim is
+            // released by `process_merge`'s drop guard even on unwind.
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            shard.busy.store(false, Ordering::Release);
+            self.merge_inflight.fetch_sub(1, Ordering::AcqRel);
+            // Wake a peer for the shard's next job and any drain waiter.
+            let _guard = self.scans.lock();
+            self.work.notify_one();
+            self.quiesced.notify_all();
+            return true;
+        }
+        false
+    }
+
+    /// True when no merge job is queued or executing.
+    fn merges_quiesced(&self) -> bool {
+        self.merge_pending.load(Ordering::Acquire) == 0
+            && self.merge_inflight.load(Ordering::Acquire) == 0
+    }
+
+    /// Worker main loop: alternate between scan tasks and merge jobs while
+    /// both queues hold work, sleep when neither does, exit once stopped
+    /// *and* drained (shutdown never abandons queued merges).
+    fn work_loop(&self) {
+        let mut prefer_merge = false;
+        loop {
+            type Pick = fn(&Scheduler) -> bool;
+            let order: [Pick; 2] = if prefer_merge {
+                [Scheduler::run_one_merge, Scheduler::run_one_scan]
+            } else {
+                [Scheduler::run_one_scan, Scheduler::run_one_merge]
+            };
+            let did = order[0](self) || order[1](self);
+            if did {
+                prefer_merge = !prefer_merge;
+                continue;
+            }
+            let mut scans = self.scans.lock();
+            if scans.is_empty() && self.merge_pending.load(Ordering::Acquire) == 0 {
+                if self.stopped.load(Ordering::Acquire) {
+                    return;
+                }
+                self.work.wait(&mut scans);
+            } else {
+                // Work exists but is claimed by peers (busy shards): re-poll
+                // shortly instead of sleeping unboundedly.
+                self.work.wait_for(&mut scans, Duration::from_millis(1));
+            }
+        }
+    }
 }
 
 /// Countdown latch: `run` waits until all fanned-out tasks reported in.
@@ -43,7 +181,7 @@ impl WaitGroup {
     }
 
     fn finish_one(&self) {
-        let mut remaining = self.remaining.lock().expect("waitgroup poisoned");
+        let mut remaining = self.remaining.lock();
         *remaining -= 1;
         if *remaining == 0 {
             self.done.notify_all();
@@ -51,52 +189,128 @@ impl WaitGroup {
     }
 
     fn wait(&self) {
-        let mut remaining = self.remaining.lock().expect("waitgroup poisoned");
+        let mut remaining = self.remaining.lock();
         while *remaining > 0 {
-            remaining = self.done.wait(remaining).expect("waitgroup poisoned");
+            self.done.wait(&mut remaining);
         }
     }
 }
 
-impl ScanPool {
-    /// Spawn a pool with `workers` worker threads (callers contribute their
-    /// own thread in [`ScanPool::run`], so total parallelism is
-    /// `workers + 1`).
-    fn new(workers: usize) -> ScanPool {
-        let (tx, rx) = unbounded::<Job>();
-        let workers = (0..workers)
+/// The unified merge/scan worker pool.
+pub struct TaskPool {
+    sched: Arc<Scheduler>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Scan fan-out width (counting the caller); may exceed the worker
+    /// count by one, or the worker count may exceed it when a width-1
+    /// configuration still runs background merges.
+    scan_width: usize,
+}
+
+impl TaskPool {
+    /// Spawn a pool with `workers` worker threads and `merge_shards`
+    /// independent merge injector queues. `scan_width` is the fan-out width
+    /// scans should plan for, counting the calling thread.
+    pub fn new(scan_width: usize, workers: usize, merge_shards: usize) -> TaskPool {
+        let sched = Arc::new(Scheduler {
+            scans: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            quiesced: Condvar::new(),
+            shards: (0..merge_shards.max(1))
+                .map(|_| MergeShard {
+                    jobs: Mutex::new(VecDeque::new()),
+                    busy: AtomicBool::new(false),
+                })
+                .collect(),
+            merge_pending: AtomicUsize::new(0),
+            merge_inflight: AtomicUsize::new(0),
+            next_shard: AtomicUsize::new(0),
+            stopped: AtomicBool::new(false),
+        });
+        let handles = (0..workers.max(1))
             .map(|i| {
-                let rx = rx.clone();
+                let sched = Arc::clone(&sched);
                 std::thread::Builder::new()
-                    .name(format!("lstore-scan-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            job();
-                        }
-                    })
-                    .expect("spawn scan worker")
+                    .name(format!("lstore-pool-{i}"))
+                    .spawn(move || sched.work_loop())
+                    .expect("spawn pool worker")
             })
             .collect();
-        ScanPool {
-            tx: Some(tx),
-            workers,
+        TaskPool {
+            sched,
+            workers: Mutex::new(handles),
+            scan_width: scan_width.max(1),
         }
     }
 
-    /// Pool for a configured `scan_threads` width: `None` when one thread
-    /// (the caller itself) is all the configuration asks for.
-    pub fn for_width(scan_threads: usize) -> Option<ScanPool> {
-        if scan_threads <= 1 {
+    /// Scan-only pool for a configured fan-out width: `None` when one
+    /// thread (the caller itself) is all the configuration asks for.
+    pub fn for_width(scan_width: usize) -> Option<TaskPool> {
+        if scan_width <= 1 {
             None
         } else {
             // The calling thread executes one partition itself.
-            Some(ScanPool::new(scan_threads - 1))
+            Some(TaskPool::new(scan_width, scan_width - 1, 1))
         }
     }
 
-    /// Number of threads a fan-out can use, counting the caller.
+    /// Number of threads a scan fan-out should plan for, counting the
+    /// caller.
     pub fn width(&self) -> usize {
-        self.workers.len() + 1
+        self.scan_width
+    }
+
+    /// Queue a merge job on `shard`'s injector queue. Jobs of one shard run
+    /// serially in enqueue order; different shards drain independently.
+    /// Returns false (without queueing) once the pool has been stopped.
+    pub fn enqueue_merge(&self, shard: usize, job: MergeJob) -> bool {
+        // Check-and-publish under the scans lock — the same lock workers
+        // hold for their exit decision and `shutdown` takes before its
+        // final notify. Either this enqueue observes `stopped` and refuses,
+        // or the job is visible (`merge_pending > 0`) before any worker can
+        // pass its exit check, so shutdown's drain still runs it; a job can
+        // never land in a pool whose workers are already gone.
+        let _guard = self.sched.scans.lock();
+        if self.sched.stopped.load(Ordering::Acquire) {
+            return false;
+        }
+        let queue = &self.sched.shards[shard % self.sched.shards.len()];
+        queue.jobs.lock().push_back(job);
+        self.sched.merge_pending.fetch_add(1, Ordering::AcqRel);
+        self.sched.work.notify_one();
+        true
+    }
+
+    /// Queued merge jobs not yet claimed by a worker.
+    pub fn pending_merges(&self) -> usize {
+        self.sched.merge_pending.load(Ordering::Acquire)
+    }
+
+    /// Block until every queued merge job has finished executing.
+    pub fn drain_merges(&self) {
+        let mut scans = self.sched.scans.lock();
+        while !self.sched.merges_quiesced() {
+            // Timed wait: the finishing notification races with our check
+            // only by a bounded poll interval.
+            self.sched
+                .quiesced
+                .wait_for(&mut scans, Duration::from_millis(1));
+        }
+    }
+
+    /// Stop the pool: no further merge enqueues are accepted, workers drain
+    /// the remaining merge jobs and exit, and the calling thread joins
+    /// them. Idempotent; called from `Database::drop` while tables are
+    /// still alive so queued merges resolve against live state.
+    pub fn shutdown(&self) {
+        self.sched.stopped.store(true, Ordering::Release);
+        {
+            let _guard = self.sched.scans.lock();
+            self.sched.work.notify_all();
+        }
+        let handles: Vec<_> = self.workers.lock().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
     }
 
     /// Execute `tasks` across the pool plus the calling thread, returning
@@ -118,10 +332,11 @@ impl ScanPool {
         {
             let slots = &slots;
             let wg = &wg;
+            let mut jobs = Vec::with_capacity(n);
             for (i, task) in tasks.into_iter().enumerate() {
                 let job = Box::new(move || {
                     let outcome = catch_unwind(AssertUnwindSafe(task));
-                    *slots[i].lock().expect("slot poisoned") = Some(outcome);
+                    *slots[i].lock() = Some(outcome);
                     wg.finish_one();
                 });
                 // SAFETY: the job borrows `slots`, `wg`, and whatever the
@@ -131,10 +346,26 @@ impl ScanPool {
                 // confined to this block.
                 let job: Job =
                     unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
-                if let Err(rejected) = self.tx.as_ref().expect("pool running").send(job) {
-                    // Workers already shut down (database dropping): run the
-                    // job inline so the wait group still reaches zero.
-                    (rejected.0)();
+                jobs.push(job);
+            }
+            // Check-and-publish under the scans lock (see `enqueue_merge`):
+            // either the jobs become visible before any worker can pass its
+            // exit check — so a concurrent shutdown's drain still runs them
+            // — or the pool is already stopped and the caller runs every
+            // job inline so the wait group still reaches zero.
+            let inline = {
+                let mut scans = self.sched.scans.lock();
+                if self.sched.stopped.load(Ordering::Acquire) {
+                    Some(jobs)
+                } else {
+                    scans.extend(jobs);
+                    self.sched.work.notify_all();
+                    None
+                }
+            };
+            if let Some(jobs) = inline {
+                for job in jobs {
+                    job();
                 }
             }
             // The caller is the first worker, not an idle waiter.
@@ -143,12 +374,7 @@ impl ScanPool {
             let mut results = Vec::with_capacity(n + 1);
             results.push(first_outcome);
             for slot in slots.iter() {
-                results.push(
-                    slot.lock()
-                        .expect("slot poisoned")
-                        .take()
-                        .expect("task completed"),
-                );
+                results.push(slot.lock().take().expect("task completed"));
             }
             results
                 .into_iter()
@@ -161,12 +387,9 @@ impl ScanPool {
     }
 }
 
-impl Drop for ScanPool {
+impl Drop for TaskPool {
     fn drop(&mut self) {
-        drop(self.tx.take()); // disconnect: workers drain and exit
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -177,7 +400,7 @@ mod tests {
 
     #[test]
     fn results_keep_task_order() {
-        let pool = ScanPool::for_width(4).expect("pool");
+        let pool = TaskPool::for_width(4).expect("pool");
         assert_eq!(pool.width(), 4);
         let tasks: Vec<_> = (0..16u64).map(|i| move || i * i).collect();
         let got = pool.run(tasks);
@@ -186,7 +409,7 @@ mod tests {
 
     #[test]
     fn tasks_can_borrow_caller_state() {
-        let pool = ScanPool::for_width(3).expect("pool");
+        let pool = TaskPool::for_width(3).expect("pool");
         let data: Vec<u64> = (0..1000).collect();
         let tasks: Vec<_> = data
             .chunks(250)
@@ -198,7 +421,7 @@ mod tests {
 
     #[test]
     fn pool_is_reusable_and_shared() {
-        let pool = std::sync::Arc::new(ScanPool::for_width(2).expect("pool"));
+        let pool = std::sync::Arc::new(TaskPool::for_width(2).expect("pool"));
         let hits = AtomicUsize::new(0);
         for _ in 0..10 {
             let tasks: Vec<_> = (0..4)
@@ -211,13 +434,13 @@ mod tests {
 
     #[test]
     fn width_one_request_needs_no_pool() {
-        assert!(ScanPool::for_width(0).is_none());
-        assert!(ScanPool::for_width(1).is_none());
+        assert!(TaskPool::for_width(0).is_none());
+        assert!(TaskPool::for_width(1).is_none());
     }
 
     #[test]
     fn task_panic_propagates_after_drain() {
-        let pool = ScanPool::for_width(2).expect("pool");
+        let pool = TaskPool::for_width(2).expect("pool");
         let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
             let tasks: Vec<Box<dyn FnOnce() -> u64 + Send>> = vec![
                 Box::new(|| 1),
@@ -229,5 +452,109 @@ mod tests {
         assert!(caught.is_err());
         // Pool still serviceable after the panic drained.
         assert_eq!(pool.run(vec![|| 7u64, || 8u64]), vec![7, 8]);
+    }
+
+    #[test]
+    fn merge_jobs_run_on_workers_and_drain() {
+        let pool = TaskPool::new(2, 1, 4);
+        let ran = Arc::new(AtomicUsize::new(0));
+        for shard in 0..4 {
+            for _ in 0..8 {
+                let ran = Arc::clone(&ran);
+                assert!(pool.enqueue_merge(
+                    shard,
+                    Box::new(move || {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    })
+                ));
+            }
+        }
+        pool.drain_merges();
+        assert_eq!(ran.load(Ordering::SeqCst), 32);
+        assert_eq!(pool.pending_merges(), 0);
+    }
+
+    #[test]
+    fn merge_jobs_of_one_shard_run_in_fifo_order() {
+        // 4 workers racing over one shard: the busy claim must still force
+        // strictly increasing execution order.
+        let pool = TaskPool::new(5, 4, 2);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..64u32 {
+            let order = Arc::clone(&order);
+            pool.enqueue_merge(
+                1,
+                Box::new(move || {
+                    order.lock().push(i);
+                }),
+            );
+        }
+        pool.drain_merges();
+        let got = order.lock().clone();
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scans_and_merges_interleave_without_starvation() {
+        let pool = Arc::new(TaskPool::new(3, 2, 2));
+        let merges = Arc::new(AtomicUsize::new(0));
+        // Keep the scan queue warm from a second thread while merges flow.
+        std::thread::scope(|s| {
+            let scan_pool = Arc::clone(&pool);
+            s.spawn(move || {
+                for _ in 0..50 {
+                    let tasks: Vec<_> = (0..4).map(|i| move || i * 2u64).collect();
+                    scan_pool.run(tasks);
+                }
+            });
+            for i in 0..40 {
+                let merges = Arc::clone(&merges);
+                pool.enqueue_merge(
+                    i % 2,
+                    Box::new(move || {
+                        merges.fetch_add(1, Ordering::SeqCst);
+                    }),
+                );
+            }
+            pool.drain_merges();
+        });
+        assert_eq!(merges.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_merges_then_rejects() {
+        let pool = TaskPool::new(2, 1, 2);
+        let ran = Arc::new(AtomicUsize::new(0));
+        for shard in 0..2 {
+            let ran = Arc::clone(&ran);
+            pool.enqueue_merge(
+                shard,
+                Box::new(move || {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 2, "shutdown drained the queues");
+        // The enqueue-returns-false-when-stopped contract.
+        assert!(!pool.enqueue_merge(0, Box::new(|| {})));
+        // Scan fan-outs after shutdown run inline on the caller.
+        assert_eq!(pool.run(vec![|| 1u64, || 2u64]), vec![1, 2]);
+    }
+
+    #[test]
+    fn merge_panic_does_not_wedge_the_shard() {
+        let pool = TaskPool::new(2, 1, 1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        pool.enqueue_merge(0, Box::new(|| panic!("merge exploded")));
+        let ran2 = Arc::clone(&ran);
+        pool.enqueue_merge(
+            0,
+            Box::new(move || {
+                ran2.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        pool.drain_merges();
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "shard kept draining");
     }
 }

@@ -9,20 +9,22 @@
 //! version chain only for records whose updates outrun the merge.
 //!
 //! Every analytical entry point fans its per-range work out across the
-//! shared scan worker pool ([`crate::pool::ScanPool`], sized by
-//! `DbConfig::scan_threads`): ranges partition the table into disjoint
+//! unified merge/scan task pool ([`crate::pool::TaskPool`], sized by
+//! `DbConfig::pool_threads`): ranges partition the table into disjoint
 //! record sets whose base versions are immutable snapshots, so per-range
 //! partial aggregates combine without any synchronization — the epoch
-//! discipline makes the fan-out embarrassingly parallel. Each worker clones
-//! the scan's epoch guard (pinning the same window) and snapshots its
-//! ranges' `BaseVersion`s exactly as the sequential path does; with
-//! `scan_threads = 1` (the `DbConfig::deterministic()` setting) every scan
+//! discipline makes the fan-out embarrassingly parallel. The same workers
+//! drain the per-shard merge queues, interleaving scan partitions with
+//! merge jobs so neither starves the other under mixed load. Each worker
+//! clones the scan's epoch guard (pinning the same window) and snapshots
+//! its ranges' `BaseVersion`s exactly as the sequential path does; with
+//! `pool_threads = 1` (the `DbConfig::deterministic()` setting) every scan
 //! stays strictly sequential on the calling thread.
 //!
 //! The fan-out units are the shard-aligned partitions of
 //! `Table::scan_partitions`: each partition holds ranges of exactly one
 //! key-range shard, so pool workers walk ranges written by one writer
-//! shard rather than an interleaving of all of them, and the `ScanPool`
+//! shard rather than an interleaving of all of them, and the `TaskPool`
 //! partitioning stays aligned with the writer-side sharding. Aggregates
 //! combine associatively and `scan_as_of` sorts by key, so neither the
 //! shard count nor the pool width is observable in any result (the

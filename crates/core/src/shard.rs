@@ -2,7 +2,7 @@
 //! pool.
 //!
 //! PR 2 made *reads* scale with cores by fanning analytical queries across
-//! the shared [`crate::pool::ScanPool`]; writers, however, still funneled
+//! the shared [`crate::pool::TaskPool`]; writers, however, still funneled
 //! through one table's shared structures — one primary index, one insert
 //! tail, one stats block, and one lock-guarded range list. This module
 //! partitions a table's key space into `DbConfig::shards` independent

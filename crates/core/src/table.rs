@@ -215,14 +215,15 @@ impl Table {
         parts
     }
 
-    /// Fan a per-chunk fold across the shared scan pool: `fold` runs once
+    /// Fan a per-chunk fold across the unified task pool: `fold` runs once
     /// per contiguous chunk of `items` (update-range handles, per-range
     /// sub-spans, …), concurrently, and the partial results come back in
-    /// item order. Every worker re-pins the calling scan's epoch (by
-    /// cloning its guard) before touching any base pages, so pages retired
-    /// mid-scan survive until the last worker drains (§4.1.1 step 5).
-    /// Falls back to one inline call when the database was configured with
-    /// `scan_threads = 1` or there is nothing to split.
+    /// item order — interleaved by the workers with any pending merge jobs.
+    /// Every worker re-pins the calling scan's epoch (by cloning its guard)
+    /// before touching any base pages, so pages retired mid-scan survive
+    /// until the last worker drains (§4.1.1 step 5). Falls back to one
+    /// inline call when the database was configured with
+    /// `pool_threads = 1` or there is nothing to split.
     pub(crate) fn scan_fanout<T, R, F>(
         &self,
         items: &[T],
@@ -800,12 +801,18 @@ impl Table {
         if !range.claim_merge() {
             return;
         }
-        if !self.runtime.enqueue_merge(self.id, range.id) {
-            range.merge_done(); // no daemon: leave to manual merges
+        // Route to the owning shard's injector queue on the unified pool
+        // (shard-owned ranges need no cross-shard merge ordering).
+        if !self.runtime.enqueue_merge(self.id, range.shard, range.id) {
+            range.merge_done(); // background merging off: leave to manual merges
         }
     }
 
-    /// Process one merge request (called by the merge daemon or tests).
+    /// Process one merge request (called by pool workers or tests). Safe to
+    /// run from any thread: the relaxed merge touches only stable data
+    /// (§4.1, Lemma 1) and `claim_merge` keeps one merge per range in
+    /// flight, so concurrent merges of *different* ranges — the per-shard
+    /// queues drain in parallel — never conflict.
     pub(crate) fn process_merge(&self, range_id: u32) -> MergeReport {
         self.process_merge_inner(range_id, false)
     }
@@ -814,6 +821,18 @@ impl Table {
         let range = self.range(range_id);
         // Merge work is attributed to the shard owning the range.
         debug_assert!((range.shard as usize) < self.shards.len());
+        // Release the merge-pending claim on every exit path *including
+        // unwinds*: the pool worker catches a panicking merge and keeps
+        // going, so a wedged claim would silently disable background
+        // merging for this range forever. (Releasing an unclaimed range —
+        // the `merge_now`/`merge_all` paths — is a harmless store.)
+        struct ClaimRelease<'a>(&'a UpdateRange);
+        impl Drop for ClaimRelease<'_> {
+            fn drop(&mut self) {
+                self.0.merge_done();
+            }
+        }
+        let _claim = ClaimRelease(&range);
         let stats = &self.shards[range.shard as usize].stats;
         let mut report = MergeReport::default();
         if range.base().is_insert_phase() {
@@ -829,7 +848,6 @@ impl Table {
             ) {
                 TableStats::bump(&stats.insert_merges);
             } else {
-                range.merge_done();
                 return report;
             }
         }
@@ -852,7 +870,6 @@ impl Table {
                 });
             }
         }
-        range.merge_done();
         report
     }
 

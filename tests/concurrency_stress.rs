@@ -146,7 +146,7 @@ fn write_write_races_have_single_winner() {
 /// parallel. Scans themselves run against live concurrent churn.
 #[test]
 fn parallel_scans_agree_with_sequential_under_load() {
-    let db = Database::new(DbConfig::new().with_scan_threads(4)); // merge daemon on
+    let db = Database::new(DbConfig::new().with_pool_threads(4)); // background merges on
     let t = db
         .create_table("parscan", &["count", "bucket"], TableConfig::small())
         .unwrap();
@@ -257,8 +257,8 @@ fn parallel_scans_agree_with_sequential_under_load() {
 fn sharded_writers_agree_with_sequential_ground_truth() {
     const SHARDS: usize = 4;
     let db = Database::new(
-        DbConfig::new() // merge daemon on
-            .with_scan_threads(4)
+        DbConfig::new() // background merges on
+            .with_pool_threads(4)
             .with_shards(SHARDS),
     );
     let t = db
@@ -378,6 +378,134 @@ fn sharded_writers_agree_with_sequential_ground_truth() {
     assert!(table_stats.updates >= total, "applied ≥ committed");
     t.merge_all();
     assert_eq!(t.sum_auto(0), final_sum, "merges change nothing");
+}
+
+/// The unified merge/scan pool under saturation: wide scans keep every pool
+/// worker busy while one writer per shard pushes its shard's hot range past
+/// `merge_threshold` over and over. The work-stealing scheduler must still
+/// drain the per-shard merge queues (no dedicated merge thread exists to
+/// fall back on), every shard must reach merged state in the background,
+/// and frozen-ts scan results must equal the per-key `read_as_of` ground
+/// truth throughout the churn.
+#[test]
+fn merges_complete_under_saturated_scan_pool() {
+    const SHARDS: usize = 4;
+    const KEYS: u64 = 2048;
+    const STRIPE: u64 = 256; // TableConfig::small's insert_range_size
+    let db = Database::new(DbConfig::new().with_pool_threads(4).with_shards(SHARDS));
+    let t = db
+        .create_table("saturated", &["count", "bucket"], TableConfig::small())
+        .unwrap();
+    for k in 0..KEYS {
+        t.insert_auto(k, &[0, k % 3]).unwrap();
+    }
+    t.merge_all();
+    let threshold = t.config().merge_threshold as u64;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let pause = Arc::new(AtomicBool::new(false));
+    let parked = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        // One writer per shard, hammering only the shard's first stripe so
+        // tail records concentrate in one update range per shard and every
+        // shard crosses the merge threshold repeatedly.
+        for w in 0..SHARDS as u64 {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            let pause = Arc::clone(&pause);
+            let parked = Arc::clone(&parked);
+            s.spawn(move || {
+                assert_eq!(t.shard_of_key(w * STRIPE), w as usize, "stripe routing");
+                let mut i = 0u64;
+                let mut appended = 0u64;
+                loop {
+                    // Guarantee well past the threshold per shard before
+                    // honoring stop, then churn until stopped.
+                    if appended > 2 * threshold && stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if pause.load(Ordering::SeqCst) {
+                        parked.fetch_add(1, Ordering::SeqCst);
+                        while pause.load(Ordering::SeqCst) && !stop.load(Ordering::Relaxed) {
+                            std::thread::yield_now();
+                        }
+                        parked.fetch_sub(1, Ordering::SeqCst);
+                        continue;
+                    }
+                    let key = w * STRIPE + (i % STRIPE);
+                    let cur = t.read_latest_auto(key).unwrap()[0];
+                    t.update_auto(key, &[(0, cur + 1)]).unwrap();
+                    i += 1;
+                    appended += 1;
+                }
+            });
+        }
+        // Two scanner threads saturating the pool with wide fan-outs.
+        for _ in 0..2 {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let ts = t.now();
+                    std::hint::black_box(t.sum_as_of(0, ts));
+                    std::hint::black_box(t.group_by_sum(1, 0, ts));
+                }
+            });
+        }
+        // Frozen-ts ground-truth cross-checks during the churn.
+        for _ in 0..8 {
+            pause.store(true, Ordering::SeqCst);
+            while parked.load(Ordering::SeqCst) < SHARDS as u64 {
+                std::thread::yield_now();
+            }
+            let ts = t.now(); // no transaction in flight at this instant
+            pause.store(false, Ordering::SeqCst);
+            let par_sum = t.sum_as_of(0, ts);
+            let par_rows = t.scan_as_of(&[0], ts);
+            let mut seq_sum = 0u64;
+            let mut seq_rows = Vec::new();
+            for k in 0..KEYS {
+                if let Some(row) = t.read_as_of(k, &[0], ts).unwrap() {
+                    seq_sum += row[0];
+                    seq_rows.push((k, row));
+                }
+            }
+            assert_eq!(par_sum, seq_sum, "scan sum == per-key ground truth");
+            assert_eq!(par_rows, seq_rows, "scan rows == per-key ground truth");
+        }
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // One quiet append per hot range re-arms the threshold trigger for any
+    // range whose last merge raced the writers stopping, then the queues
+    // must drain to fully merged shards — in the background, on the pool.
+    for w in 0..SHARDS as u64 {
+        let key = w * STRIPE;
+        let cur = t.read_latest_auto(key).unwrap()[0];
+        t.update_auto(key, &[(0, cur)]).unwrap();
+    }
+    db.drain_merges();
+    for shard in 0..SHARDS {
+        let stats = t.shard_stats(shard);
+        assert!(
+            stats.merges >= 1,
+            "shard {shard} merged in the background (merges={})",
+            stats.merges
+        );
+        assert!(stats.merged_records > 0, "shard {shard} consumed records");
+    }
+    for r in 0..t.range_count() as u32 {
+        let unmerged = t.range_handle(r).unmerged();
+        assert!(
+            unmerged < threshold,
+            "range {r} drained below threshold (unmerged={unmerged})"
+        );
+    }
+    // Quiesced equality through an independent code path.
+    let final_sum = t.sum_auto(0);
+    let per_key: u64 = (0..KEYS).map(|k| t.read_latest_auto(k).unwrap()[0]).sum();
+    assert_eq!(final_sum, per_key, "scan equals per-key reads after drain");
 }
 
 /// Inserts from many threads with interleaved scans: no keys lost, no

@@ -151,7 +151,7 @@ proptest! {
         let dbs: Vec<_> = [1usize, 2, 8]
             .iter()
             .map(|&w| {
-                let db = Database::new(DbConfig::deterministic().with_scan_threads(w));
+                let db = Database::new(DbConfig::deterministic().with_pool_threads(w));
                 let t = db
                     .create_table("widths", &["c0", "c1", "c2"], TableConfig::small())
                     .unwrap();
@@ -311,6 +311,110 @@ proptest! {
             prop_assert_eq!(total.updates, flat.updates);
             prop_assert_eq!(total.deletes, flat.deletes);
             prop_assert_eq!(t.stats().inserts, flat.inserts);
+        }
+    }
+
+    /// The unified task pool is invisible to results even with background
+    /// merging enabled: replaying one random operation sequence into
+    /// databases configured with `pool_threads` of 1, 2, and 8 (auto-merge
+    /// on, two key-range shards so two per-shard merge queues are live)
+    /// produces byte-identical `read_as_of`, `sum_as_of`/`sum_cols_as_of`/
+    /// `count_as_of`/`group_by_sum`, and `scan_as_of` answers at every
+    /// recorded snapshot timestamp. Background merges race the replay
+    /// differently at every width, but a merge only changes representation
+    /// (Lemma 2), never results — and merges never tick the clock, so the
+    /// snapshot timestamps coincide across all three databases.
+    #[test]
+    fn pool_widths_with_auto_merge_produce_identical_results(
+        ops in prop::collection::vec(
+            prop_oneof![
+                3 => (0u64..512, prop::array::uniform3(0u64..1000))
+                    .prop_map(|(key, values)| Op::Insert { key, values }),
+                6 => (0u64..512, 0usize..COLS, 0u64..1000)
+                    .prop_map(|(key, col, value)| Op::Update { key, col, value }),
+                1 => (0u64..512).prop_map(|key| Op::Delete { key }),
+                1 => Just(Op::Merge),
+                2 => Just(Op::Snapshot),
+            ],
+            1..60,
+        )
+    ) {
+        let dbs: Vec<_> = [1usize, 2, 8]
+            .iter()
+            .map(|&w| {
+                let db = Database::new(
+                    DbConfig::new() // background merging on
+                        .with_pool_threads(w)
+                        .with_shards(2),
+                );
+                let t = db
+                    .create_table("poolwidths", &["c0", "c1", "c2"], TableConfig::small())
+                    .unwrap();
+                (db, t)
+            })
+            .collect();
+
+        // Replay the identical sequence into every database, recording
+        // snapshot timestamps (which must agree: pool width and merge
+        // timing never change how many clock ticks an operation consumes).
+        let mut snapshots: Vec<u64> = Vec::new();
+        for op in &ops {
+            let mut stamps = Vec::new();
+            for (_, t) in &dbs {
+                match op {
+                    Op::Insert { key, values } => {
+                        let _ = t.insert_auto(*key, values);
+                    }
+                    Op::Update { key, col, value } => {
+                        let _ = t.update_auto(*key, &[(*col, *value)]);
+                    }
+                    Op::Delete { key } => {
+                        let _ = t.delete_auto(*key);
+                    }
+                    Op::Merge => {
+                        t.merge_all();
+                    }
+                    Op::CompressHistoric => {}
+                    Op::Snapshot => stamps.push(t.now()),
+                }
+            }
+            if let Op::Snapshot = op {
+                prop_assert!(stamps.windows(2).all(|w| w[0] == w[1]),
+                    "clocks diverged across pool widths: {:?}", stamps);
+                snapshots.push(stamps[0]);
+            }
+        }
+
+        // Quiesce the per-shard merge queues, then compare — at every
+        // snapshot and at "now" (which must also coincide).
+        let nows: Vec<u64> = dbs.iter().map(|(db, t)| { db.drain_merges(); t.now() }).collect();
+        prop_assert!(nows.windows(2).all(|w| w[0] == w[1]), "final clocks: {:?}", nows);
+        snapshots.push(nows[0]);
+        for &ts in &snapshots {
+            let answers: Vec<_> = dbs
+                .iter()
+                .map(|(_, t)| {
+                    (
+                        t.sum_as_of(0, ts),
+                        t.sum_cols_as_of(&[0, 1, 2], ts),
+                        t.count_as_of(ts),
+                        t.group_by_sum(1, 0, ts),
+                        t.scan_as_of(&[0, 1, 2], ts),
+                    )
+                })
+                .collect();
+            prop_assert_eq!(&answers[0], &answers[1], "pool_threads 1 vs 2 at ts {}", ts);
+            prop_assert_eq!(&answers[0], &answers[2], "pool_threads 1 vs 8 at ts {}", ts);
+
+            // Per-key time travel through the point-read code path.
+            for key in (0..512u64).step_by(13) {
+                let reads: Vec<_> = dbs
+                    .iter()
+                    .map(|(_, t)| t.read_as_of(key, &[0, 1, 2], ts).unwrap_or(None))
+                    .collect();
+                prop_assert_eq!(&reads[0], &reads[1], "read_as_of {} at {}", key, ts);
+                prop_assert_eq!(&reads[0], &reads[2], "read_as_of {} at {}", key, ts);
+            }
         }
     }
 
