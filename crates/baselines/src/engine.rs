@@ -27,6 +27,16 @@ pub trait Engine: Send + Sync {
     /// Latest-committed point read of selected value columns.
     fn point_read(&self, key: u64, cols: &[usize]) -> Option<Vec<u64>>;
 
+    /// Latest-committed point reads of a whole batch of keys, results in
+    /// input order — the Table 9 multi-key lookup shape. The default is
+    /// the sequential per-key loop; engines with a batched read path
+    /// (L-Store's `multi_read_cols_latest`) override it, so the
+    /// `BENCH_BATCH_KEYS` axis measures batching against this exact
+    /// baseline.
+    fn multi_point_read(&self, keys: &[u64], cols: &[usize]) -> Vec<Option<Vec<u64>>> {
+        keys.iter().map(|&k| self.point_read(k, cols)).collect()
+    }
+
     /// Background maintenance opportunity (merge a pending range, etc.);
     /// called by the harness's dedicated merge thread. Returns `true` when
     /// work was done.

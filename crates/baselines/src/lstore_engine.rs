@@ -142,6 +142,18 @@ impl Engine for LStoreEngine {
         table.read_cols_auto(key, cols).ok().flatten()
     }
 
+    fn multi_point_read(&self, keys: &[u64], cols: &[usize]) -> Vec<Option<Vec<u64>>> {
+        // The batched read path: dedup + shard grouping + task-pool
+        // fan-out (a per-key sequential loop when the batch is below
+        // `DbConfig::batch_read_min` or the pool is 1 wide).
+        let table = self.table();
+        table
+            .multi_read_cols_latest(keys, cols)
+            .into_iter()
+            .map(|r| r.ok().flatten())
+            .collect()
+    }
+
     fn maintain(&self) -> bool {
         // The pool workers already drain the per-shard merge queues; a
         // manual sweep here merges anything above threshold synchronously

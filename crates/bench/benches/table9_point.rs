@@ -1,5 +1,6 @@
 //! Criterion companion to Table 9: point reads fetching 10% vs 100% of
-//! columns, column vs row layout.
+//! columns, column vs row layout, plus the batched multi-key read path
+//! (64-key batches on a 4-wide unified pool vs the per-key loop).
 
 mod common;
 
@@ -38,6 +39,24 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 k = (k + 7919) % cfg.rows;
                 std::hint::black_box(row.read(k, &cols).unwrap())
+            })
+        });
+    }
+    // Batched multi-key reads: one 64-key batch per iteration, sequential
+    // per-key loop (pool width 1) vs the pool-fanned batch (width 4).
+    let pooled = Arc::new(LStoreEngine::with_configs(
+        lstore::DbConfig::new().with_pool_threads(4).with_shards(1),
+        lstore::TableConfig::default(),
+    ));
+    pooled.populate(cfg.rows, cfg.cols);
+    let cols: Vec<usize> = (0..cfg.cols).collect();
+    for (name, engine) in [("seq", &col), ("pool4", &pooled)] {
+        let mut base = 0u64;
+        group.bench_function(format!("column_batched64/{name}"), |b| {
+            b.iter(|| {
+                let keys: Vec<u64> = (0..64u64).map(|i| ((base + i) * 7919) % cfg.rows).collect();
+                base = base.wrapping_add(64);
+                std::hint::black_box(engine.multi_point_read(&keys, &cols))
             })
         });
     }

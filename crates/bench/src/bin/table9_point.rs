@@ -1,6 +1,13 @@
 //! Table 9: point-query throughput (M txns/s) vs percentage of columns
 //! fetched, L-Store (Column) vs L-Store (Row). Each transaction issues 10
 //! point reads.
+//!
+//! A second section sweeps the **batched** point-read path
+//! (`multi_read_cols_latest` behind `Engine::multi_point_read`): batch
+//! sizes from `BENCH_BATCH_KEYS` × unified-pool widths from
+//! `BENCH_POOL_THREADS`, at 100% of columns. Batch size 1 stays on the
+//! caller (the sequential baseline), so within one pool width the rows
+//! read directly as "what does handing a 64-key batch to the pool buy".
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -30,7 +37,7 @@ fn main() {
         }
         row.insert(k, &values).unwrap();
     }
-    let iterations: u64 = 20_000;
+    let iterations: u64 = setup::point_iters();
     for pct in [10usize, 20, 40, 80, 100] {
         let ncols = ((config.cols * pct) as f64 / 100.0).round().max(1.0) as usize;
         let cols: Vec<usize> = (0..ncols).collect();
@@ -53,5 +60,38 @@ fn main() {
             &format!("{pct}% of columns"),
             &[("column", mtxns(col_tps)), ("row", mtxns(row_tps))],
         );
+    }
+
+    // Batched multi-key point reads on the unified task pool: same keys,
+    // same access pattern, grouped `batch` keys at a time.
+    report::header(
+        "Table 9 (batched)",
+        &format!(
+            "batched point-read throughput (M txns/s, 10 reads/txn) vs batch size and pool width; rows={}",
+            config.rows
+        ),
+    );
+    let cols: Vec<usize> = (0..config.cols).collect();
+    for &pool in &setup::pool_thread_sweep() {
+        let engine = setup::lstore_pooled_engine(&config, pool);
+        for &batch in &setup::batch_key_sweep() {
+            let batch = batch.max(1);
+            let mut keys = Vec::with_capacity(batch);
+            let mut done = 0u64;
+            let start = Instant::now();
+            while done < iterations {
+                keys.clear();
+                for i in 0..batch as u64 {
+                    keys.push(((done + i) * 7919) % config.rows);
+                }
+                std::hint::black_box(engine.multi_point_read(&keys, &cols));
+                done += batch as u64;
+            }
+            let tps = (done as f64 / 10.0) / start.elapsed().as_secs_f64();
+            report::row(
+                &format!("batch={batch} pool={pool}"),
+                &[("column", mtxns(tps))],
+            );
+        }
     }
 }

@@ -71,6 +71,24 @@ pub fn scan_iters() -> usize {
         .unwrap_or(3)
 }
 
+/// Point-read batch sizes to sweep in the Table 9 runner (env
+/// `BENCH_BATCH_KEYS`, comma-separated; default `1,64` — the sequential
+/// per-key baseline vs a pool-fanned 64-key batch). Batch size 1 always
+/// resolves on the caller, so the axis isolates what batching buys.
+pub fn batch_key_sweep() -> Vec<usize> {
+    usize_list("BENCH_BATCH_KEYS").unwrap_or_else(|| vec![1, 64])
+}
+
+/// Point reads per measured Table 9 cell (env `BENCH_POINT_ITERS`,
+/// default 20 000).
+pub fn point_iters() -> u64 {
+    std::env::var("BENCH_POINT_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(20_000)
+}
+
 /// Key-range shard counts to sweep (env `BENCH_SHARDS`, comma-separated;
 /// default `1,4` — the paper's single-table baseline vs 4 writer shards).
 /// The fig7 runner adds an L-Store row per value above 1; the base
@@ -105,6 +123,20 @@ pub fn lstore_engine(config: &WorkloadConfig) -> Arc<LStoreEngine> {
 pub fn lstore_sharded_engine(config: &WorkloadConfig, shards: usize) -> Arc<LStoreEngine> {
     let e = Arc::new(LStoreEngine::with_configs(
         DbConfig::new().with_pool_threads(1).with_shards(shards),
+        TableConfig::default(),
+    ));
+    e.populate(config.rows, config.cols);
+    e
+}
+
+/// Build one populated L-Store engine with a `pool_threads`-wide unified
+/// task pool and a single key-range shard: the Table 9 batched-read axis
+/// varies only read-side fan-out, so writer sharding is pinned off.
+pub fn lstore_pooled_engine(config: &WorkloadConfig, pool_threads: usize) -> Arc<LStoreEngine> {
+    let e = Arc::new(LStoreEngine::with_configs(
+        DbConfig::new()
+            .with_pool_threads(pool_threads)
+            .with_shards(1),
         TableConfig::default(),
     ));
     e.populate(config.rows, config.cols);

@@ -119,6 +119,14 @@ pub struct DbConfig {
     /// execution knob: results, commit timestamps (one global clock), RIDs,
     /// and the WAL format are identical for every value.
     pub shards: usize,
+    /// Minimum batch size before `Table::multi_read_latest` /
+    /// `Table::multi_read_as_of` dispatch across the task pool: batches
+    /// with fewer keys resolve in a plain sequential loop on the caller
+    /// (no deduplication, no pool hand-off — per-key index probes are far
+    /// cheaper than waking workers for them). Purely an execution knob,
+    /// like `pool_threads`: results are identical on both sides of the
+    /// threshold.
+    pub batch_read_min: usize,
 }
 
 impl Default for DbConfig {
@@ -128,6 +136,10 @@ impl Default for DbConfig {
 }
 
 impl DbConfig {
+    /// Default [`DbConfig::batch_read_min`]: below this many keys, a
+    /// batched read is a plain sequential loop.
+    pub const DEFAULT_BATCH_READ_MIN: usize = 16;
+
     /// In-memory database with live background merging (the common case).
     /// Scans fan out across all available cores, and tables shard their key
     /// space across as many writer shards.
@@ -141,6 +153,7 @@ impl DbConfig {
             background_merge: true,
             pool_threads: cores,
             shards: cores,
+            batch_read_min: DbConfig::DEFAULT_BATCH_READ_MIN,
         }
     }
 
@@ -155,6 +168,7 @@ impl DbConfig {
             background_merge: false,
             pool_threads: 1,
             shards: 1,
+            batch_read_min: DbConfig::DEFAULT_BATCH_READ_MIN,
         }
     }
 
@@ -183,6 +197,14 @@ impl DbConfig {
         self.shards = shards.max(1);
         self
     }
+
+    /// Set the minimum batch size at which `multi_read_*` fans out across
+    /// the task pool (clamped to ≥ 2 — a single-key batch never has
+    /// anything to fan out).
+    pub fn with_batch_read_min(mut self, batch_read_min: usize) -> Self {
+        self.batch_read_min = batch_read_min.max(2);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -205,5 +227,18 @@ mod tests {
         assert_eq!(config.pool_threads, 1);
         assert_eq!(config.shards, 1);
         assert!(!config.background_merge, "merges stay inline on demand");
+    }
+
+    #[test]
+    fn batch_read_min_defaults_and_clamps() {
+        assert_eq!(
+            DbConfig::new().batch_read_min,
+            DbConfig::DEFAULT_BATCH_READ_MIN
+        );
+        assert_eq!(DbConfig::new().with_batch_read_min(64).batch_read_min, 64);
+        // A threshold below 2 is meaningless (a 1-key batch has nothing to
+        // fan out): the builder clamps instead of producing a config whose
+        // "batched" path degenerates per key.
+        assert_eq!(DbConfig::new().with_batch_read_min(0).batch_read_min, 2);
     }
 }

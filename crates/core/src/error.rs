@@ -9,6 +9,8 @@ pub enum Error {
     DuplicateKey(u64),
     /// Point operation on a key absent from the primary index.
     KeyNotFound(u64),
+    /// Database-level operation naming a table that does not exist.
+    TableNotFound(String),
     /// Write-write conflict detected on the indirection latch or on an
     /// uncommitted competing version (§5.1.1 `write`); the transaction must
     /// abort.
@@ -32,6 +34,7 @@ impl fmt::Display for Error {
         match self {
             Error::DuplicateKey(k) => write!(f, "duplicate key {k}"),
             Error::KeyNotFound(k) => write!(f, "key {k} not found"),
+            Error::TableNotFound(name) => write!(f, "table {name:?} not found"),
             Error::WriteConflict { base_rid } => {
                 write!(f, "write-write conflict on base rid {base_rid:#x}")
             }

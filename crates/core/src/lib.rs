@@ -22,6 +22,12 @@
 //!   writers scale with cores the way the scan pool scales reads — while
 //!   one global clock keeps snapshot semantics identical for every shard
 //!   count.
+//! * Multi-key lookups batch through **`Table::multi_read_latest` /
+//!   `multi_read_as_of`** (and the `Database`-level multi-table variants):
+//!   one sort groups a batch by shard, dedups, and clusters
+//!   range-neighbors, then the units fan out across the unified task pool
+//!   — byte-identical to the per-key loop, with per-key `Result`s in input
+//!   order.
 //!
 //! ## Quick start
 //!
@@ -54,6 +60,7 @@ pub mod db;
 pub mod error;
 pub mod historic;
 pub mod merge;
+pub mod multi_read;
 pub mod pool;
 pub mod range;
 pub mod read;

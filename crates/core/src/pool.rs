@@ -9,10 +9,15 @@
 //! needs a *dedicated* thread. The pool therefore runs one set of workers
 //! that drain two kinds of work:
 //!
-//! * **Scan tasks**: type-erased closures fanned out by [`TaskPool::run`],
-//!   which executes the first task on the calling thread (the caller is a
-//!   core too) and blocks until every task finished — which is what makes
-//!   handing non-`'static` borrows to the workers sound.
+//! * **Scan tasks**: type-erased closures fanned out by [`TaskPool::run`] —
+//!   analytical scan partitions and the units of batched point reads
+//!   ([`crate::multi_read`]) alike. The caller is a core too: it executes
+//!   the first task itself, steals queued tasks back while its fan-out
+//!   drains (never idling on work it could run), and blocks until every
+//!   task finished — which is what makes handing non-`'static` borrows to
+//!   the workers sound. Submission wakes a single worker and claimers
+//!   chain further wakeups while tasks remain, so small fan-outs never pay
+//!   a thundering herd.
 //! * **Merge jobs**: queued by writers through per-shard *injector queues*
 //!   ([`TaskPool::enqueue_merge`]). Table shards own disjoint key ranges
 //!   (see [`crate::shard`]), so merges of different shards need no mutual
@@ -56,6 +61,10 @@ struct MergeShard {
 struct Scheduler {
     /// Scan tasks, drained in FIFO order by whichever worker is free.
     scans: Mutex<VecDeque<Job>>,
+    /// Scan tasks queued but not yet popped (fast lock-free empty check:
+    /// spinning workers and helping callers poll this instead of taking
+    /// the `scans` lock).
+    scan_pending: AtomicUsize,
     /// Wakes workers when either queue gains work (paired with `scans`).
     work: Condvar,
     /// Wakes [`Scheduler::drain_merges`] waiters when a merge completes
@@ -77,9 +86,21 @@ struct Scheduler {
 impl Scheduler {
     /// Pop and run one scan task; false when the scan queue is empty.
     fn run_one_scan(&self) -> bool {
+        if self.scan_pending.load(Ordering::Acquire) == 0 {
+            return false; // skip the lock on the (common) empty path
+        }
         let job = self.scans.lock().pop_front();
         match job {
             Some(job) => {
+                // Chained wakeup: each claimer wakes one more peer while
+                // tasks remain, so a fan-out of n tasks costs at most n
+                // one-waiter notifies — and zero when the helping caller
+                // drains its own batch before any worker gets scheduled —
+                // instead of an eager notify_all whose thundering herd
+                // costs more than a microsecond-sized task.
+                if self.scan_pending.fetch_sub(1, Ordering::AcqRel) > 1 {
+                    self.work.notify_one();
+                }
                 job(); // panics are caught inside the closure (see `run`)
                 true
             }
@@ -137,6 +158,13 @@ impl Scheduler {
     /// Worker main loop: alternate between scan tasks and merge jobs while
     /// both queues hold work, sleep when neither does, exit once stopped
     /// *and* drained (shutdown never abandons queued merges).
+    ///
+    /// Workers park as soon as both queues are empty — no idle spinning.
+    /// A bounded spin would keep workers hot across a stream of small
+    /// point-read batches, but it burns the cores the *caller* needs on
+    /// machines where workers ≈ cores (and the helping caller in
+    /// [`TaskPool::run`] already covers the parked-worker latency: the
+    /// batch never waits on a wakeup, it just runs on fewer threads).
     fn work_loop(&self) {
         let mut prefer_merge = false;
         loop {
@@ -188,6 +216,12 @@ impl WaitGroup {
         }
     }
 
+    /// True once every task reported in (the helping caller polls this
+    /// between stolen tasks).
+    fn is_done(&self) -> bool {
+        *self.remaining.lock() == 0
+    }
+
     fn wait(&self) {
         let mut remaining = self.remaining.lock();
         while *remaining > 0 {
@@ -213,6 +247,7 @@ impl TaskPool {
     pub fn new(scan_width: usize, workers: usize, merge_shards: usize) -> TaskPool {
         let sched = Arc::new(Scheduler {
             scans: Mutex::new(VecDeque::new()),
+            scan_pending: AtomicUsize::new(0),
             work: Condvar::new(),
             quiesced: Condvar::new(),
             shards: (0..merge_shards.max(1))
@@ -358,18 +393,31 @@ impl TaskPool {
                 if self.sched.stopped.load(Ordering::Acquire) {
                     Some(jobs)
                 } else {
+                    self.sched.scan_pending.fetch_add(n, Ordering::AcqRel);
                     scans.extend(jobs);
-                    self.sched.work.notify_all();
                     None
                 }
             };
-            if let Some(jobs) = inline {
-                for job in jobs {
-                    job();
+            match inline {
+                Some(jobs) => {
+                    for job in jobs {
+                        job();
+                    }
                 }
+                // Wake one worker outside the lock (it re-checks emptiness
+                // under the lock before sleeping, so the wakeup cannot be
+                // lost); claimers chain further wakeups while tasks remain
+                // (see `run_one_scan`).
+                None => self.sched.work.notify_one(),
             }
             // The caller is the first worker, not an idle waiter.
             let first_outcome = catch_unwind(AssertUnwindSafe(first));
+            // Keep working instead of idling: steal queued scan tasks (this
+            // fan-out's or a sibling's) until this batch completed or the
+            // queue drains. For microsecond-sized tasks the workers' wakeup
+            // latency can exceed the whole batch; helping bounds the worst
+            // case at "the caller did everything itself, sequentially".
+            while !wg.is_done() && self.sched.run_one_scan() {}
             wg.wait();
             let mut results = Vec::with_capacity(n + 1);
             results.push(first_outcome);

@@ -450,34 +450,30 @@ impl Table {
     }
 
     /// Latest-committed point read of all value columns (auto-commit).
+    /// Resolves through the shared single-key path of
+    /// [`crate::multi_read`]; [`Table::multi_read_latest`] is the batched
+    /// variant.
     pub fn read_latest_auto(&self, key: u64) -> crate::error::Result<Vec<u64>> {
         let cols: Vec<usize> = (1..self.schema().column_count()).collect();
-        let base_rid = self.locate(key)?;
-        let range = self.range(base_rid.range());
-        let base = range.base();
-        let reader = self.reader(&range, &base);
-        match reader.read_record(base_rid.slot(), &cols, ReadMode::latest()) {
-            Resolved::Visible { values, .. } => Ok(values),
+        match self.resolve_point(key, &cols, ReadMode::latest()) {
+            crate::multi_read::PointOutcome::Visible(values) => Ok(values),
             _ => Err(crate::error::Error::KeyNotFound(key)),
         }
     }
 
     /// Latest-committed point read of selected value columns (auto-commit);
-    /// `None` when the record is deleted.
+    /// `None` when the record is deleted. The batched variant is
+    /// [`Table::multi_read_cols_latest`].
     pub fn read_cols_auto(
         &self,
         key: u64,
         user_cols: &[usize],
     ) -> crate::error::Result<Option<Vec<u64>>> {
         let cols: Vec<usize> = user_cols.iter().map(|&c| c + 1).collect();
-        let base_rid = self.locate(key)?;
-        let range = self.range(base_rid.range());
-        let base = range.base();
-        let reader = self.reader(&range, &base);
-        match reader.read_record(base_rid.slot(), &cols, ReadMode::latest()) {
-            Resolved::Visible { values, .. } => Ok(Some(values)),
-            Resolved::Deleted => Ok(None),
-            Resolved::NotVisible => Ok(None),
+        match self.resolve_point(key, &cols, ReadMode::latest()) {
+            crate::multi_read::PointOutcome::Visible(values) => Ok(Some(values)),
+            crate::multi_read::PointOutcome::Invisible => Ok(None),
+            crate::multi_read::PointOutcome::Missing => Err(crate::error::Error::KeyNotFound(key)),
         }
     }
 

@@ -27,7 +27,9 @@
 //! stripe, while dense key spaces still spread across all shards — plain
 //! `key % shards` would also spread, but would put every contiguous scan
 //! interval on every shard, and plain `key / (domain/shards)` would put all
-//! practically-occurring small keys on shard 0.
+//! practically-occurring small keys on shard 0. Because routing is pure
+//! arithmetic, the batched point-read planner ([`crate::multi_read`]) can
+//! group a whole key batch by shard without touching the primary index.
 //!
 //! **RIDs stay global.** Ranges live in one table-wide, append-only
 //! `RangeRegistry` and keep their dense global ids, so a RID — and

@@ -256,9 +256,16 @@ impl Table {
         pool.run(tasks)
     }
 
+    /// The table's key → shard routing map (used by the batched point-read
+    /// planner, which groups keys by shard with pure arithmetic before any
+    /// index probe happens).
+    pub(crate) fn shard_map(&self) -> &ShardMap {
+        &self.shard_map
+    }
+
     /// Map a public value-column index to the internal data-column index.
     #[inline]
-    fn internal_col(&self, user_col: usize) -> Result<usize> {
+    pub(crate) fn internal_col(&self, user_col: usize) -> Result<usize> {
         if user_col + 1 >= self.schema.column_count() {
             return Err(Error::ColumnOutOfRange {
                 column: user_col,
@@ -755,18 +762,18 @@ impl Table {
     }
 
     /// Detached snapshot read of `key` as of timestamp `ts` (time travel).
+    /// The batched variant is [`Table::multi_read_as_of`]; both resolve
+    /// through the same per-key path, so a batch is byte-identical to a
+    /// loop over this method.
     pub fn read_as_of(&self, key: u64, user_cols: &[usize], ts: u64) -> Result<Option<Vec<u64>>> {
         let cols: Vec<usize> = user_cols
             .iter()
             .map(|&c| self.internal_col(c))
             .collect::<Result<_>>()?;
-        let base_rid = self.locate(key)?;
-        let range = self.range(base_rid.range());
-        let base = range.base();
-        let reader = self.reader(&range, &base);
-        match reader.read_record(base_rid.slot(), &cols, ReadMode::as_of(ts)) {
-            Resolved::Visible { values, .. } => Ok(Some(values)),
-            _ => Ok(None),
+        match self.resolve_point(key, &cols, ReadMode::as_of(ts)) {
+            crate::multi_read::PointOutcome::Visible(values) => Ok(Some(values)),
+            crate::multi_read::PointOutcome::Invisible => Ok(None),
+            crate::multi_read::PointOutcome::Missing => Err(Error::KeyNotFound(key)),
         }
     }
 

@@ -508,6 +508,134 @@ fn merges_complete_under_saturated_scan_pool() {
     assert_eq!(final_sum, per_key, "scan equals per-key reads after drain");
 }
 
+/// Batched point reads against live writers and background merges: at a
+/// timestamp frozen at a writer quiesce point, `multi_read_as_of` — with
+/// duplicates and missing keys mixed into the batch — must return exactly
+/// what per-key `read_as_of` returns at the same snapshot, stably across
+/// repeats, while the same pool workers keep draining the per-shard merge
+/// queues underneath (the batch's epoch re-pinning is what keeps
+/// merged-away base pages alive for the slower units).
+#[test]
+fn batched_reads_agree_under_live_writers_and_merges() {
+    let db = Database::new(
+        DbConfig::new()
+            .with_pool_threads(4)
+            .with_shards(2)
+            .with_batch_read_min(2), // small batches still take the pooled path
+    );
+    let t = db
+        .create_table("batchstress", &["count", "bucket"], TableConfig::small())
+        .unwrap();
+    const KEYS: u64 = 768; // several small ranges per shard => real fan-out
+    const WRITERS: u64 = 3;
+    for k in 0..KEYS {
+        t.insert_auto(k, &[1, k % 7]).unwrap();
+    }
+    t.merge_all();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let pause = Arc::new(AtomicBool::new(false));
+    let parked = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let db = Arc::clone(&db);
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            let pause = Arc::clone(&pause);
+            let parked = Arc::clone(&parked);
+            s.spawn(move || {
+                let mut rng = 0x51ce_b00bu64 ^ (w << 40);
+                while !stop.load(Ordering::Relaxed) {
+                    if pause.load(Ordering::SeqCst) {
+                        parked.fetch_add(1, Ordering::SeqCst);
+                        while pause.load(Ordering::SeqCst) && !stop.load(Ordering::Relaxed) {
+                            std::thread::yield_now();
+                        }
+                        parked.fetch_sub(1, Ordering::SeqCst);
+                        continue;
+                    }
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(13);
+                    let key = (rng >> 17) % KEYS;
+                    let mut txn = db.begin_with(lstore::IsolationLevel::RepeatableRead);
+                    let ok = t
+                        .read(&mut txn, key, &[0])
+                        .ok()
+                        .flatten()
+                        .and_then(|v| t.update(&mut txn, key, &[(0, v[0] + 1)]).ok());
+                    match ok {
+                        Some(_) => {
+                            let _ = db.commit(&mut txn);
+                        }
+                        None => db.abort(&mut txn),
+                    }
+                }
+            });
+        }
+
+        // The batch: every key, a sprinkle of duplicates, and keys that
+        // were never inserted (within and beyond the routing stripes).
+        let mut batch: Vec<u64> = (0..KEYS).collect();
+        batch.extend([5, 5, 123, 123, 123, KEYS + 10, KEYS + 10, 40_000, u64::MAX]);
+
+        for round in 0..15 {
+            // Freeze a timestamp at a writer quiesce point (a txn caught
+            // between pre-commit and commit would make the snapshot
+            // unstable for any reader, batched or not).
+            pause.store(true, Ordering::SeqCst);
+            while parked.load(Ordering::SeqCst) < WRITERS {
+                std::thread::yield_now();
+            }
+            let ts = t.now();
+
+            // While the writers are parked nothing new commits: batched
+            // latest reads must equal the per-key loop right now (merges
+            // may still be running — they change representation only).
+            let batched_latest = t.multi_read_latest(&batch);
+            for (r, &k) in batched_latest.iter().zip(&batch) {
+                match t.read_latest_auto(k) {
+                    Ok(v) => assert_eq!(r.as_ref().unwrap(), &v, "latest key {k}"),
+                    Err(_) => assert!(r.is_err(), "latest key {k} should be absent"),
+                }
+            }
+            pause.store(false, Ordering::SeqCst);
+
+            // Snapshot reads race live writers and merges from here on.
+            let batched = t.multi_read_as_of(&batch, &[0, 1], ts);
+            for (r, &k) in batched.iter().zip(&batch) {
+                let want = t.read_as_of(k, &[0, 1], ts);
+                match want {
+                    Ok(want) => assert_eq!(
+                        r.as_ref().ok(),
+                        Some(&want),
+                        "round {round}: key {k} at frozen ts {ts}"
+                    ),
+                    Err(_) => assert!(r.is_err(), "round {round}: key {k} should be absent"),
+                }
+            }
+            // Batched reads at a frozen ts are deterministic under load.
+            let again = t.multi_read_as_of(&batch, &[0, 1], ts);
+            for ((a, b), &k) in batched.iter().zip(&again).zip(&batch) {
+                assert_eq!(
+                    a.as_ref().ok(),
+                    b.as_ref().ok(),
+                    "round {round}: key {k} unstable at frozen ts"
+                );
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Quiesce and cross-check the batch against the final ground truth.
+    db.drain_merges();
+    let ts = t.now();
+    let final_batch = t.multi_read_as_of(&(0..KEYS).collect::<Vec<_>>(), &[0], ts);
+    let sum: u64 = final_batch
+        .iter()
+        .map(|r| r.as_ref().unwrap().as_ref().unwrap()[0])
+        .sum();
+    assert_eq!(sum, t.sum_as_of(0, ts), "batch sum equals scan sum");
+}
+
 /// Inserts from many threads with interleaved scans: no keys lost, no
 /// duplicates, ranges roll over correctly.
 #[test]

@@ -418,6 +418,139 @@ proptest! {
         }
     }
 
+    /// Batched point reads are pure execution strategy: for every pool
+    /// width × shard count in {1, 2, 8}², replaying one random operation
+    /// sequence and then issuing one big batch — every domain key plus
+    /// duplicates, never-inserted keys, and out-of-range keys — through
+    /// `multi_read_as_of` / `multi_read_latest` / `multi_read_cols_latest`
+    /// produces, per key and in input order, exactly what the sequential
+    /// single-key readers (`read_as_of`, `read_latest_auto`,
+    /// `read_cols_auto`) return on the same database, and byte-identical
+    /// answers across all nine configurations. `batch_read_min` is pinned
+    /// low so the batch genuinely plans, splits, and fans out.
+    #[test]
+    fn multi_read_agrees_with_sequential_reads(
+        ops in prop::collection::vec(
+            prop_oneof![
+                3 => (0u64..2048, prop::array::uniform3(0u64..1000))
+                    .prop_map(|(key, values)| Op::Insert { key, values }),
+                6 => (0u64..2048, 0usize..COLS, 0u64..1000)
+                    .prop_map(|(key, col, value)| Op::Update { key, col, value }),
+                1 => (0u64..2048).prop_map(|key| Op::Delete { key }),
+                1 => Just(Op::Merge),
+                2 => Just(Op::Snapshot),
+            ],
+            1..60,
+        )
+    ) {
+        let combos: Vec<(usize, usize)> = [1usize, 2, 8]
+            .iter()
+            .flat_map(|&w| [1usize, 2, 8].map(|s| (w, s)))
+            .collect();
+        let dbs: Vec<_> = combos
+            .iter()
+            .map(|&(w, s)| {
+                let db = Database::new(
+                    DbConfig::deterministic()
+                        .with_pool_threads(w)
+                        .with_shards(s)
+                        .with_batch_read_min(2),
+                );
+                let t = db
+                    .create_table("batch", &["c0", "c1", "c2"], TableConfig::small())
+                    .unwrap();
+                (db, t)
+            })
+            .collect();
+
+        // Replay the identical sequence into every database, recording
+        // snapshot timestamps (clock-deterministic, so they coincide).
+        let mut snapshots: Vec<u64> = Vec::new();
+        for op in &ops {
+            let mut stamps = Vec::new();
+            for (_, t) in &dbs {
+                match op {
+                    Op::Insert { key, values } => {
+                        let _ = t.insert_auto(*key, values);
+                    }
+                    Op::Update { key, col, value } => {
+                        let _ = t.update_auto(*key, &[(*col, *value)]);
+                    }
+                    Op::Delete { key } => {
+                        let _ = t.delete_auto(*key);
+                    }
+                    Op::Merge => {
+                        t.merge_all();
+                    }
+                    Op::CompressHistoric => {}
+                    Op::Snapshot => stamps.push(t.now()),
+                }
+            }
+            if let Op::Snapshot = op {
+                prop_assert!(stamps.windows(2).all(|w| w[0] == w[1]),
+                    "clocks diverged across configs: {:?}", stamps);
+                snapshots.push(stamps[0]);
+            }
+        }
+        snapshots.push(dbs[0].1.now());
+
+        // One batch covering the whole domain, plus duplicates, missing
+        // keys, and far-out-of-range keys scattered through it.
+        let mut batch: Vec<u64> = (0..2048u64).step_by(3).collect();
+        batch.extend([7, 7, 7, 2047, 0, 5000, 5000, 9999, u64::MAX, u64::MAX - 1]);
+        batch.extend((0..64u64).map(|i| i * 31 % 2048)); // more duplicates
+        let norm_opt = |r: lstore::Result<Option<Vec<u64>>>| r.map_err(|e| e.to_string());
+        let norm_row = |r: lstore::Result<Vec<u64>>| r.map_err(|e| e.to_string());
+
+        // Snapshot semantics: batched == per-key `read_as_of`, at every
+        // recorded timestamp, on every configuration.
+        for &ts in &snapshots {
+            let mut reference: Option<Vec<_>> = None;
+            for (&(w, s), (_, t)) in combos.iter().zip(&dbs) {
+                let batched: Vec<_> = t
+                    .multi_read_as_of(&batch, &[0, 1, 2], ts)
+                    .into_iter()
+                    .map(norm_opt)
+                    .collect();
+                let sequential: Vec<_> = batch
+                    .iter()
+                    .map(|&k| norm_opt(t.read_as_of(k, &[0, 1, 2], ts)))
+                    .collect();
+                prop_assert_eq!(
+                    &batched, &sequential,
+                    "batch != sequential at ts {} (pool={}, shards={})", ts, w, s
+                );
+                match &reference {
+                    None => reference = Some(batched),
+                    Some(first) => prop_assert_eq!(
+                        first, &batched,
+                        "configs diverged at ts {} (pool={}, shards={})", ts, w, s
+                    ),
+                }
+            }
+        }
+
+        // Latest semantics through both batched entry points.
+        for (&(w, s), (_, t)) in combos.iter().zip(&dbs) {
+            let batched: Vec<_> = t.multi_read_latest(&batch).into_iter().map(norm_row).collect();
+            let sequential: Vec<_> = batch.iter().map(|&k| norm_row(t.read_latest_auto(k))).collect();
+            prop_assert_eq!(&batched, &sequential, "latest batch (pool={}, shards={})", w, s);
+            let batched_cols: Vec<_> = t
+                .multi_read_cols_latest(&batch, &[1])
+                .into_iter()
+                .map(norm_opt)
+                .collect();
+            let sequential_cols: Vec<_> = batch
+                .iter()
+                .map(|&k| norm_opt(t.read_cols_auto(k, &[1])))
+                .collect();
+            prop_assert_eq!(
+                &batched_cols, &sequential_cols,
+                "latest cols batch (pool={}, shards={})", w, s
+            );
+        }
+    }
+
     /// The row-layout variant agrees with a model on latest state.
     #[test]
     fn row_table_matches_model(
