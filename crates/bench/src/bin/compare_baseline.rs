@@ -292,7 +292,28 @@ fn gate(
             }
             continue;
         };
-        if *base <= f64::EPSILON || *cur <= f64::EPSILON {
+        if *base <= f64::EPSILON {
+            // A ~0 baseline cell comes from a degenerate baseline run
+            // (zero iterations in the measurement window): no ratio is
+            // ever computable against it, so the metric would silently
+            // stay ungated forever. Treat it like a missing cell —
+            // regenerate the baseline — instead of skipping.
+            if options.allow_missing {
+                println!("  SKIP {id}: baseline ~0 (degenerate cell)");
+            } else {
+                eprintln!(
+                    "  FAIL {id}: baseline value ~0 (degenerate cell) — \
+                     regenerate bench/baseline.json from a run with a \
+                     non-empty measurement window"
+                );
+                failures += 1;
+            }
+            continue;
+        }
+        if *cur <= f64::EPSILON {
+            // The *current* side can legitimately measure ~0 in a short
+            // smoke window (e.g. zero scans completed); skip rather than
+            // fail on noise.
             println!("  SKIP {id}: value ~0");
             continue;
         }
@@ -600,6 +621,42 @@ mod tests {
             lax,
             GateOutcome {
                 compared: 1,
+                failures: 0,
+                unbaselined: 0
+            }
+        );
+    }
+
+    #[test]
+    fn gate_degenerate_zero_baseline_cell_fails_unless_allowed() {
+        // A baseline cell stuck at 0 (a baseline regenerated from a run
+        // where the measurement window completed zero iterations) can
+        // never produce a ratio: the gate must demand a regenerated
+        // baseline, not silently skip the metric forever.
+        let baseline = load_str(&report(&[("t1", "A", "0"), ("t1", "B", "1.0")]), "b").unwrap();
+        let current = load_str(&report(&[("t1", "A", "5.0"), ("t1", "B", "1.0")]), "c").unwrap();
+        let strict = gate(&baseline, &current, opts(30.0, false, false));
+        assert_eq!(strict.failures, 1);
+        assert_eq!(strict.compared, 1, "cell B still compares");
+        // BENCH_BASELINE_ALLOW_MISSING=1 downgrades it to a skip, like a
+        // missing cell.
+        let lax = gate(&baseline, &current, opts(30.0, true, false));
+        assert_eq!(
+            lax,
+            GateOutcome {
+                compared: 1,
+                failures: 0,
+                unbaselined: 0
+            }
+        );
+        // A ~0 *current* value with a healthy baseline stays a skip: short
+        // smoke windows can measure zero without the shape being wrong.
+        let baseline = load_str(&report(&[("t1", "A", "1.0")]), "b").unwrap();
+        let current = load_str(&report(&[("t1", "A", "0")]), "c").unwrap();
+        assert_eq!(
+            gate(&baseline, &current, opts(30.0, false, false)),
+            GateOutcome {
+                compared: 0,
                 failures: 0,
                 unbaselined: 0
             }

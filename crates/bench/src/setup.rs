@@ -1,9 +1,10 @@
 //! Shared experiment setup: engine construction and environment knobs.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
-use lstore::{DbConfig, TableConfig};
+use lstore::{DbConfig, Durability, TableConfig};
 use lstore_baselines::{DbmEngine, Engine, IuhEngine, LStoreEngine};
 
 use crate::workload::{Contention, WorkloadConfig};
@@ -97,6 +98,25 @@ pub fn shard_sweep() -> Vec<usize> {
     usize_list("BENCH_SHARDS").unwrap_or_else(|| vec![1, 4])
 }
 
+/// Durability modes to sweep in the fig_durability runner (env
+/// `BENCH_DURABILITY`, comma-separated among `none`, `wal`, `group`;
+/// default all three). Unknown names are dropped.
+pub fn durability_sweep() -> Vec<(&'static str, Durability)> {
+    let requested = std::env::var("BENCH_DURABILITY")
+        .ok()
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "none,wal,group".into());
+    requested
+        .split(',')
+        .filter_map(|t| match t.trim() {
+            "none" => Some(("none", Durability::None)),
+            "wal" => Some(("wal", Durability::Wal)),
+            "group" => Some(("group", Durability::group_commit())),
+            _ => None,
+        })
+        .collect()
+}
+
 /// Build a populated engine of each architecture for `config`.
 pub fn all_engines(config: &WorkloadConfig) -> Vec<Arc<dyn Engine>> {
     let engines: Vec<Arc<dyn Engine>> = vec![
@@ -123,6 +143,28 @@ pub fn lstore_engine(config: &WorkloadConfig) -> Arc<LStoreEngine> {
 pub fn lstore_sharded_engine(config: &WorkloadConfig, shards: usize) -> Arc<LStoreEngine> {
     let e = Arc::new(LStoreEngine::with_configs(
         DbConfig::new().with_pool_threads(1).with_shards(shards),
+        TableConfig::default(),
+    ));
+    e.populate(config.rows, config.cols);
+    e
+}
+
+/// Build one populated L-Store engine logging to the per-shard WAL at
+/// `wal_path` under the given commit durability policy (scans stay
+/// sequential, as in [`lstore_sharded_engine`], so the axis isolates the
+/// commit path's fsync cost).
+pub fn lstore_durable_engine(
+    config: &WorkloadConfig,
+    shards: usize,
+    wal_path: PathBuf,
+    durability: Durability,
+) -> Arc<LStoreEngine> {
+    let e = Arc::new(LStoreEngine::with_configs(
+        DbConfig::new()
+            .with_pool_threads(1)
+            .with_shards(shards)
+            .with_wal(wal_path, false)
+            .with_durability(durability),
         TableConfig::default(),
     ));
     e.populate(config.rows, config.cols);

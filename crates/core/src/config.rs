@@ -90,14 +90,58 @@ impl TableConfig {
     }
 }
 
+/// Commit durability policy for the write-ahead log (§5.1.3 + the §6.1
+/// group-commit remark). The WAL itself is enabled by
+/// [`DbConfig::wal_path`]; `Durability` picks what a commit *waits for*:
+///
+/// * [`Durability::None`] — commits only flush touched log streams to the
+///   OS, never fsync. Crash durability is best-effort (the benchmark
+///   setting, and the pre-existing `sync_on_commit: false` behavior).
+/// * [`Durability::Wal`] — every commit fsyncs every log stream its
+///   transaction touched before returning (the pre-existing
+///   `sync_on_commit: true` behavior, per-commit fsync).
+/// * [`Durability::WalGroupCommit`] — commits enroll in their streams'
+///   group-commit cohorts: a leader batches pending commit records for up
+///   to `window_us` microseconds (or `max_batch` commits), one fsync
+///   publishes the whole cohort, and followers park until their record is
+///   durable. Same durability guarantee as [`Durability::Wal`], a fraction
+///   of the fsyncs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// No fsync on commit (OS-buffered logging).
+    #[default]
+    None,
+    /// fsync every touched log stream on every commit.
+    Wal,
+    /// Leader-batched cohort fsync per log stream.
+    WalGroupCommit {
+        /// Group-commit window in microseconds.
+        window_us: u64,
+        /// fsync early once this many commits are pending in a stream.
+        max_batch: usize,
+    },
+}
+
+impl Durability {
+    /// Default group-commit variant: a 200µs window, 64-commit batches.
+    pub const fn group_commit() -> Durability {
+        Durability::WalGroupCommit {
+            window_us: 200,
+            max_batch: 64,
+        }
+    }
+}
+
 /// Database-wide configuration.
 #[derive(Debug, Clone)]
 pub struct DbConfig {
-    /// Write-ahead log path; `None` disables logging (the evaluation setting:
-    /// "logging has been turned off for all systems", §6.1).
+    /// Write-ahead log base path; `None` disables logging (the evaluation
+    /// setting: "logging has been turned off for all systems", §6.1). With
+    /// `shards > 1` the log splits into per-shard segment streams: shard
+    /// stream 0 is this path itself, stream `i` adds an `.s<i>` suffix.
     pub wal_path: Option<PathBuf>,
-    /// fsync on commit when the WAL is enabled.
-    pub sync_on_commit: bool,
+    /// What a commit waits for when the WAL is enabled.
+    pub durability: Durability,
     /// Run merges in the background on the shared task pool (Fig. 5's merge
     /// queue; requests route to per-shard injector queues). Disable for
     /// single-threaded deterministic tests, where merges then run only
@@ -149,7 +193,7 @@ impl DbConfig {
             .unwrap_or(1);
         DbConfig {
             wal_path: None,
-            sync_on_commit: false,
+            durability: Durability::None,
             background_merge: true,
             pool_threads: cores,
             shards: cores,
@@ -164,7 +208,7 @@ impl DbConfig {
     pub fn deterministic() -> Self {
         DbConfig {
             wal_path: None,
-            sync_on_commit: false,
+            durability: Durability::None,
             background_merge: false,
             pool_threads: 1,
             shards: 1,
@@ -172,10 +216,24 @@ impl DbConfig {
         }
     }
 
-    /// Enable the WAL at `path`.
+    /// Enable the WAL at `path`. `sync_on_commit` maps onto the durability
+    /// policy ([`Durability::Wal`] when true, [`Durability::None`] when
+    /// false) — the pre-durability-knob API, kept for existing callers;
+    /// use [`DbConfig::with_durability`] for group commit.
     pub fn with_wal(mut self, path: PathBuf, sync_on_commit: bool) -> Self {
         self.wal_path = Some(path);
-        self.sync_on_commit = sync_on_commit;
+        self.durability = if sync_on_commit {
+            Durability::Wal
+        } else {
+            Durability::None
+        };
+        self
+    }
+
+    /// Set the commit durability policy (takes effect when
+    /// [`DbConfig::wal_path`] is set).
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
         self
     }
 
@@ -227,6 +285,22 @@ mod tests {
         assert_eq!(config.pool_threads, 1);
         assert_eq!(config.shards, 1);
         assert!(!config.background_merge, "merges stay inline on demand");
+    }
+
+    #[test]
+    fn wal_builders_set_durability() {
+        let config = DbConfig::new().with_wal("/tmp/x.wal".into(), true);
+        assert_eq!(config.durability, Durability::Wal);
+        let config = DbConfig::new().with_wal("/tmp/x.wal".into(), false);
+        assert_eq!(config.durability, Durability::None);
+        let config = config.with_durability(Durability::group_commit());
+        assert_eq!(
+            config.durability,
+            Durability::WalGroupCommit {
+                window_us: 200,
+                max_batch: 64
+            }
+        );
     }
 
     #[test]

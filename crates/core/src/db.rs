@@ -17,11 +17,12 @@ use parking_lot::RwLock;
 
 use lstore_storage::epoch::EpochManager;
 use lstore_txn::{GlobalClock, IsolationLevel, Transaction, TxnManager};
-use lstore_wal::{LogRecord, Wal, WalConfig};
+use lstore_wal::{CommitPolicy, LogRecord, ShardedWal, ShardedWalConfig};
 
-use crate::config::{DbConfig, TableConfig};
+use crate::config::{DbConfig, Durability, TableConfig};
 use crate::error::{Error, Result};
 use crate::pool::TaskPool;
+use crate::rid::Rid;
 use crate::table::Table;
 
 /// Shared engine runtime handed to every table.
@@ -32,8 +33,9 @@ pub struct Runtime {
     pub mgr: TxnManager,
     /// Epoch-based reclamation of outdated pages.
     pub epoch: EpochManager,
-    /// Optional redo-only WAL.
-    pub wal: Option<Arc<Wal>>,
+    /// Optional redo-only WAL: one append-only segment stream per table
+    /// shard, with the configured [`Durability`] policy on commits.
+    pub wal: Option<Arc<ShardedWal>>,
     /// Configured scan fan-out width (`DbConfig::pool_threads`).
     pool_threads: usize,
     /// Whether writers may queue background merges (`DbConfig::background_merge`).
@@ -166,6 +168,14 @@ impl Runtime {
     }
 }
 
+/// The update ranges a transaction wrote, in first-touch order. The
+/// sharded WAL routes records by range id, so these are exactly the log
+/// streams whose durability the transaction's commit record must wait on
+/// (the first-touched range's stream is the commit record's home stream).
+fn touched_ranges(txn: &Transaction) -> Vec<u32> {
+    txn.write_rids().map(|r| Rid(r).range()).collect()
+}
+
 /// The L-Store database.
 pub struct Database {
     runtime: Arc<Runtime>,
@@ -177,12 +187,24 @@ impl Database {
     /// Open a database with `config`.
     pub fn new(config: DbConfig) -> Arc<Database> {
         let wal = config.wal_path.as_ref().map(|p| {
+            let policy = match config.durability {
+                Durability::None => CommitPolicy::Buffered,
+                Durability::Wal => CommitPolicy::SyncEachCommit,
+                Durability::WalGroupCommit {
+                    window_us,
+                    max_batch,
+                } => CommitPolicy::GroupCommit {
+                    window: std::time::Duration::from_micros(window_us),
+                    max_batch: max_batch.max(1),
+                },
+            };
             Arc::new(
-                Wal::create(
+                ShardedWal::create(
                     p,
-                    WalConfig {
-                        sync_on_commit: config.sync_on_commit,
-                        ..WalConfig::default()
+                    ShardedWalConfig {
+                        streams: config.shards.max(1),
+                        policy,
+                        ..ShardedWalConfig::default()
                     },
                 )
                 .expect("create wal"),
@@ -289,10 +311,13 @@ impl Database {
             }
         }
         if let Some(wal) = &self.runtime.wal {
-            wal.append(&LogRecord::Commit {
-                txn_id: txn.id,
-                commit_ts,
-            })?;
+            wal.commit(
+                &touched_ranges(txn),
+                &LogRecord::Commit {
+                    txn_id: txn.id,
+                    commit_ts,
+                },
+            )?;
         }
         self.runtime.mgr.commit(txn.id);
         Ok(commit_ts)
@@ -304,7 +329,7 @@ impl Database {
     pub fn abort(&self, txn: &mut Transaction) {
         self.abort_inner(txn);
         if let Some(wal) = &self.runtime.wal {
-            let _ = wal.append(&LogRecord::Abort { txn_id: txn.id });
+            let _ = wal.commit(&touched_ranges(txn), &LogRecord::Abort { txn_id: txn.id });
         }
     }
 
@@ -443,10 +468,13 @@ impl Table {
             Ok(rid) => {
                 let commit_ts = rt.mgr.pre_commit(txn.id, &rt.clock);
                 if let Some(wal) = &rt.wal {
-                    let _ = wal.append(&LogRecord::Commit {
-                        txn_id: txn.id,
-                        commit_ts,
-                    });
+                    let _ = wal.commit(
+                        &touched_ranges(&txn),
+                        &LogRecord::Commit {
+                            txn_id: txn.id,
+                            commit_ts,
+                        },
+                    );
                 }
                 rt.mgr.commit(txn.id);
                 Ok(rid)
@@ -467,10 +495,13 @@ impl Table {
             Ok(rid) => {
                 let commit_ts = rt.mgr.pre_commit(txn.id, &rt.clock);
                 if let Some(wal) = &rt.wal {
-                    let _ = wal.append(&LogRecord::Commit {
-                        txn_id: txn.id,
-                        commit_ts,
-                    });
+                    let _ = wal.commit(
+                        &touched_ranges(&txn),
+                        &LogRecord::Commit {
+                            txn_id: txn.id,
+                            commit_ts,
+                        },
+                    );
                 }
                 rt.mgr.commit(txn.id);
                 Ok(rid)
@@ -491,10 +522,13 @@ impl Table {
             Ok(_) => {
                 let commit_ts = rt.mgr.pre_commit(txn.id, &rt.clock);
                 if let Some(wal) = &rt.wal {
-                    let _ = wal.append(&LogRecord::Commit {
-                        txn_id: txn.id,
-                        commit_ts,
-                    });
+                    let _ = wal.commit(
+                        &touched_ranges(&txn),
+                        &LogRecord::Commit {
+                            txn_id: txn.id,
+                            commit_ts,
+                        },
+                    );
                 }
                 rt.mgr.commit(txn.id);
                 Ok(())

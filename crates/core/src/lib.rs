@@ -74,7 +74,7 @@ pub mod stats;
 pub mod table;
 pub mod tailseg;
 
-pub use config::{DbConfig, TableConfig};
+pub use config::{DbConfig, Durability, TableConfig};
 pub use db::Database;
 pub use error::{Error, Result};
 pub use rid::Rid;

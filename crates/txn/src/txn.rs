@@ -127,6 +127,14 @@ impl Transaction {
     pub fn needs_validation(&self) -> bool {
         !self.read_set.is_empty()
     }
+
+    /// Base RIDs this transaction wrote, in write order. The engine's
+    /// commit path maps these to update ranges to learn which per-shard
+    /// WAL streams the transaction touched (the streams its commit record
+    /// must wait on under fsyncing durability policies).
+    pub fn write_rids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.write_set.iter().map(|w| w.base_rid)
+    }
 }
 
 #[cfg(test)]

@@ -16,9 +16,12 @@
 //! Modules:
 //! * [`record`] — the binary log record format (redo, commit/abort,
 //!   operational merge records, checkpoints).
-//! * [`writer`] — append-only log writer with LSN assignment and group
-//!   commit.
-//! * [`recovery`] — log scan + replay driver.
+//! * [`writer`] — append-only single-stream log writer with LSN assignment.
+//! * [`sharded`] — per-shard segment streams with group commit: records
+//!   route by global range id, concurrent committers amortize fsyncs
+//!   through a per-stream leader/follower cohort protocol.
+//! * [`recovery`] — log scan + replay driver, including the merged
+//!   per-shard-stream recovery ([`recover_merged`]).
 //! * [`ownership`] — the §5.2 Ownership-Relaying (OR) protocol for
 //!   maintaining `pageLSN` under many concurrent writers with mostly shared
 //!   latches.
@@ -26,11 +29,13 @@
 pub mod ownership;
 pub mod record;
 pub mod recovery;
+pub mod sharded;
 pub mod writer;
 
 pub use ownership::{OrOutcome, OrPage};
 pub use record::LogRecord;
-pub use recovery::{recover, RecoveredState};
+pub use recovery::{recover, recover_merged, RecoveredState};
+pub use sharded::{CommitPolicy, ShardedWal, ShardedWalConfig};
 pub use writer::{Wal, WalConfig};
 
 /// Errors surfaced by the WAL.

@@ -1,10 +1,14 @@
-//! Append-only log writer with LSN assignment and group commit.
+//! Append-only log writer with LSN assignment.
 //!
 //! §6.1 notes that naive logging "could easily become the main bottleneck
 //! (unless sophisticated logging mechanisms such as group commits … are
 //! employed)". The writer batches appends in an in-memory buffer and flushes
 //! either when the buffer exceeds `flush_bytes` or when a commit record asks
 //! for durability; `sync_on_commit` additionally fsyncs.
+//!
+//! One `Wal` is one segment stream. Multi-stream logging (one stream per
+//! table shard) and the group-commit coordinator that amortizes fsyncs
+//! across concurrent committers live on top, in [`crate::sharded`].
 
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
@@ -37,12 +41,22 @@ impl Default for WalConfig {
 struct WalInner {
     file: File,
     buffer: Vec<u8>,
+    /// Next LSN to assign. Lives under the buffer lock so that the order of
+    /// LSNs matches the order of bytes in the stream: after a flush, every
+    /// LSN at or below the watermark is in the file (the invariant the
+    /// group-commit coordinator's durable watermark rests on).
+    next_lsn: u64,
 }
 
 /// The write-ahead log: assigns LSNs and appends framed records.
 pub struct Wal {
     inner: Mutex<WalInner>,
-    next_lsn: AtomicU64,
+    /// Duplicate handle for fsync, so durability waits never hold the
+    /// buffer lock across device latency: appends (and therefore the next
+    /// cohort's commit records) proceed while an fsync is in flight.
+    sync_file: File,
+    /// Mirror of the highest assigned LSN, for lock-free [`Wal::last_lsn`].
+    last_assigned: AtomicU64,
     config: WalConfig,
     path: PathBuf,
 }
@@ -55,12 +69,15 @@ impl Wal {
             .write(true)
             .truncate(true)
             .open(path)?;
+        let sync_file = file.try_clone()?;
         Ok(Wal {
             inner: Mutex::new(WalInner {
                 file,
                 buffer: Vec::with_capacity(config.flush_bytes * 2),
+                next_lsn: 1,
             }),
-            next_lsn: AtomicU64::new(1),
+            sync_file,
+            last_assigned: AtomicU64::new(0),
             config,
             path: path.to_path_buf(),
         })
@@ -71,17 +88,32 @@ impl Wal {
         &self.path
     }
 
-    /// Append a record; returns its LSN. Group commit: the record lands in
-    /// the shared buffer, which is flushed when full or on commit records.
+    /// Append a record; returns its LSN. The record lands in the shared
+    /// buffer, which is flushed when full or on commit records (plus an
+    /// fsync under `sync_on_commit`).
     pub fn append(&self, record: &LogRecord) -> WalResult<u64> {
-        let lsn = self.next_lsn.fetch_add(1, Ordering::AcqRel);
-        let bytes = record.encode();
         let is_commit = matches!(record, LogRecord::Commit { .. });
+        self.append_inner(record, is_commit, is_commit && self.config.sync_on_commit)
+    }
+
+    /// Append without any commit-triggered flush: the record stays in the
+    /// buffer until it fills, or until [`Wal::flush`]/[`Wal::sync`]. The
+    /// group-commit coordinator uses this so one cohort fsync — not each
+    /// commit record — publishes the batch.
+    pub fn append_buffered(&self, record: &LogRecord) -> WalResult<u64> {
+        self.append_inner(record, false, false)
+    }
+
+    fn append_inner(&self, record: &LogRecord, flush: bool, fsync: bool) -> WalResult<u64> {
+        let bytes = record.encode();
         let mut inner = self.inner.lock();
+        let lsn = inner.next_lsn;
+        inner.next_lsn += 1;
+        self.last_assigned.store(lsn, Ordering::Release);
         inner.buffer.extend_from_slice(&bytes);
-        if inner.buffer.len() >= self.config.flush_bytes || is_commit {
+        if inner.buffer.len() >= self.config.flush_bytes || flush {
             Self::flush_locked(&mut inner)?;
-            if is_commit && self.config.sync_on_commit {
+            if fsync {
                 inner.file.sync_data()?;
             }
         }
@@ -96,10 +128,39 @@ impl Wal {
 
     /// Flush and fsync.
     pub fn sync(&self) -> WalResult<()> {
+        self.sync_watermark().map(|_| ())
+    }
+
+    /// Flush and fsync while holding the buffer lock: the strict
+    /// per-commit-fsync critical section. Concurrent committers serialize
+    /// behind it — commit records become durable one at a time, in append
+    /// order, with no fsync-overlap window (the legacy `sync_on_commit`
+    /// behavior, and the baseline group commit is measured against). The
+    /// cohort path uses [`Wal::sync_watermark`] instead, which fsyncs
+    /// outside the lock so the next cohort buffers during the wait.
+    pub fn sync_locked(&self) -> WalResult<()> {
         let mut inner = self.inner.lock();
         Self::flush_locked(&mut inner)?;
         inner.file.sync_data()?;
         Ok(())
+    }
+
+    /// Flush, fsync, and return the durable watermark: every LSN at or
+    /// below the returned value is in the file and synced to disk (LSNs are
+    /// assigned under the same lock that orders the buffer, so the
+    /// watermark is exact, not a racy snapshot).
+    pub fn sync_watermark(&self) -> WalResult<u64> {
+        let watermark = {
+            let mut inner = self.inner.lock();
+            Self::flush_locked(&mut inner)?;
+            inner.next_lsn - 1
+        };
+        // fsync outside the buffer lock: everything flushed above (i.e. the
+        // whole watermark) is written to the inode before the call, so the
+        // guarantee holds, while concurrent appends keep buffering — the
+        // next cohort forms during this fsync instead of behind it.
+        self.sync_file.sync_data()?;
+        Ok(watermark)
     }
 
     fn flush_locked(inner: &mut WalInner) -> WalResult<()> {
@@ -114,9 +175,9 @@ impl Wal {
         Ok(())
     }
 
-    /// Highest LSN assigned so far.
+    /// Highest LSN assigned so far (0 before the first append).
     pub fn last_lsn(&self) -> u64 {
-        self.next_lsn.load(Ordering::Acquire) - 1
+        self.last_assigned.load(Ordering::Acquire)
     }
 }
 
@@ -166,6 +227,24 @@ mod tests {
         // ...but the commit record forces both out.
         let size = std::fs::metadata(&path).unwrap().len();
         assert!(size > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn buffered_append_defers_commit_flush_until_sync() {
+        let path = temp_log("buffered");
+        let wal = Wal::create(&path, WalConfig::default()).unwrap();
+        let lsn = wal
+            .append_buffered(&LogRecord::Commit {
+                txn_id: 1 << 63 | 2,
+                commit_ts: 10,
+            })
+            .unwrap();
+        // A buffered commit record does not force a flush on its own...
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        // ...the cohort sync publishes it and reports the watermark.
+        assert_eq!(wal.sync_watermark().unwrap(), lsn);
+        assert!(std::fs::metadata(&path).unwrap().len() > 0);
         std::fs::remove_file(&path).ok();
     }
 

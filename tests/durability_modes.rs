@@ -1,0 +1,209 @@
+//! Durability is a *wait* policy, never a *data* policy: what a commit
+//! fsyncs (nothing, every touched stream, or a group-commit cohort) must
+//! not change what any reader observes, at any snapshot, under any shard
+//! count. These tests run one deterministic workload through every
+//! (durability, shards) cell and require byte-identical reads everywhere,
+//! plus recovery-level invariants on the logs the cells produced.
+
+use std::path::PathBuf;
+
+use lstore::{Database, DbConfig, Durability, Table, TableConfig};
+
+fn wal_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("lstore-durability-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.wal", std::process::id()))
+}
+
+fn remove_streams(path: &PathBuf) {
+    std::fs::remove_file(path).ok();
+    for i in 1.. {
+        if std::fs::remove_file(lstore_wal::sharded::stream_path(path, i)).is_err() {
+            break;
+        }
+    }
+}
+
+const KEYS: u64 = 400;
+
+/// One read snapshot: (sum of column 0, full keyed scan).
+type Snapshot = (u64, Vec<(u64, Vec<u64>)>);
+
+/// Deterministic workload with a read snapshot taken after each phase.
+fn run_workload(t: &Table) -> Vec<Snapshot> {
+    let mut snapshots = Vec::new();
+    let mut observe = |t: &Table| {
+        let ts = t.now();
+        snapshots.push((t.sum_as_of(0, ts), t.scan_as_of(&[0, 1], ts)));
+    };
+    for k in 0..KEYS {
+        t.insert_auto(k, &[k, k * 5]).unwrap();
+    }
+    observe(t);
+    for k in (0..KEYS).step_by(2) {
+        t.update_auto(k, &[(0, k + 1_000_000)]).unwrap();
+    }
+    observe(t);
+    for k in (0..KEYS).step_by(31) {
+        t.delete_auto(k).unwrap();
+    }
+    observe(t);
+    for k in (1..KEYS).step_by(5).filter(|k| k % 31 != 0) {
+        t.update_auto(k, &[(1, 42)]).unwrap();
+    }
+    observe(t);
+    snapshots
+}
+
+#[test]
+fn durability_modes_produce_identical_reads() {
+    let modes: [(&str, Durability); 3] = [
+        ("none", Durability::None),
+        ("wal", Durability::Wal),
+        (
+            "group",
+            // A wide-open window with a small batch bound: commits must
+            // regularly hit both the timer path (last commit in a burst)
+            // and the batch-full path.
+            Durability::WalGroupCommit {
+                window_us: 100,
+                max_batch: 4,
+            },
+        ),
+    ];
+    let mut reference: Option<Vec<Snapshot>> = None;
+    for (mode_name, durability) in modes {
+        for shards in [1usize, 2, 4] {
+            let path = wal_path(&format!("modes-{mode_name}-{shards}"));
+            let db = Database::new(
+                DbConfig::deterministic()
+                    .with_shards(shards)
+                    .with_wal(path.clone(), false)
+                    .with_durability(durability),
+            );
+            let t = db
+                .create_table("r", &["a", "b"], TableConfig::small())
+                .unwrap();
+            let snapshots = run_workload(&t);
+            db.runtime().wal.as_ref().unwrap().sync().unwrap();
+            drop(t);
+            drop(db);
+
+            // Identical reads at every snapshot, against the first cell.
+            match &reference {
+                None => reference = Some(snapshots),
+                Some(expect) => {
+                    assert_eq!(
+                        &snapshots, expect,
+                        "reads diverged: durability={mode_name} shards={shards}"
+                    );
+                }
+            }
+
+            // Recovery-level invariants on the log this cell produced:
+            // every commit is present exactly once, commit timestamps are
+            // unique, and the merged record order never goes backwards in
+            // commit timestamp — group-commit cohorts batch *fsyncs*, not
+            // timestamps, so cohort boundaries must be invisible here.
+            let state = lstore_wal::recover_merged(&path).unwrap();
+            assert!(state.in_flight.is_empty(), "{mode_name}/{shards}");
+            let mut timestamps: Vec<u64> = state.committed.values().copied().collect();
+            let unique_before = timestamps.len();
+            timestamps.sort_unstable();
+            timestamps.dedup();
+            assert_eq!(
+                timestamps.len(),
+                unique_before,
+                "duplicate commit_ts: durability={mode_name} shards={shards}"
+            );
+            let mut last_commit_ts = 0u64;
+            for record in &state.records {
+                if let lstore_wal::LogRecord::Commit { commit_ts, .. } = record {
+                    assert!(
+                        *commit_ts > last_commit_ts,
+                        "merged recovery reordered commits: {commit_ts} after \
+                         {last_commit_ts} (durability={mode_name} shards={shards})"
+                    );
+                    last_commit_ts = *commit_ts;
+                }
+            }
+
+            // And the recovered database reads identically too.
+            let db2 = Database::new(DbConfig::deterministic().with_shards(shards));
+            let t2 = db2
+                .create_table("r", &["a", "b"], TableConfig::small())
+                .unwrap();
+            t2.replay(&state).unwrap();
+            let expect = reference.as_ref().unwrap();
+            let (final_sum, final_scan) = expect.last().unwrap();
+            assert_eq!(
+                t2.sum_as_of(0, t2.now()),
+                *final_sum,
+                "recovered sum: durability={mode_name} shards={shards}"
+            );
+            assert_eq!(
+                &t2.scan_as_of(&[0, 1], t2.now()),
+                final_scan,
+                "recovered scan: durability={mode_name} shards={shards}"
+            );
+            remove_streams(&path);
+        }
+    }
+}
+
+/// Concurrent committers under group commit: cohorts amortize fsyncs
+/// across writer threads, and the durable log still recovers to exactly
+/// the committed state — one commit record per transaction, unique
+/// timestamps, no lost updates.
+#[test]
+fn group_commit_under_concurrency_recovers_every_commit() {
+    const WRITERS: u64 = 4;
+    const PER_WRITER: u64 = 100;
+    let path = wal_path("group-concurrent");
+    {
+        let db = Database::new(
+            DbConfig::new()
+                .with_shards(4)
+                .with_pool_threads(2)
+                .with_wal(path.clone(), false)
+                .with_durability(Durability::WalGroupCommit {
+                    window_us: 150,
+                    max_batch: 8,
+                }),
+        );
+        let t = db.create_table("r", &["a"], TableConfig::small()).unwrap();
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let t = &t;
+                scope.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        t.insert_auto(w * 10_000 + i, &[w]).unwrap();
+                    }
+                });
+            }
+        });
+        db.drain_merges();
+    }
+
+    let state = lstore_wal::recover_merged(&path).unwrap();
+    assert_eq!(
+        state.committed.len() as u64,
+        WRITERS * PER_WRITER,
+        "every group-committed transaction recovered"
+    );
+    let mut timestamps: Vec<u64> = state.committed.values().copied().collect();
+    timestamps.sort_unstable();
+    timestamps.dedup();
+    assert_eq!(timestamps.len() as u64, WRITERS * PER_WRITER);
+
+    let db2 = Database::new(DbConfig::deterministic());
+    let t2 = db2.create_table("r", &["a"], TableConfig::small()).unwrap();
+    let report = t2.replay(&state).unwrap();
+    assert_eq!(report.inserts, WRITERS * PER_WRITER);
+    for w in 0..WRITERS {
+        for i in 0..PER_WRITER {
+            assert_eq!(t2.read_latest_auto(w * 10_000 + i).unwrap(), vec![w]);
+        }
+    }
+    remove_streams(&path);
+}
