@@ -98,6 +98,46 @@ pub fn shard_sweep() -> Vec<usize> {
     usize_list("BENCH_SHARDS").unwrap_or_else(|| vec![1, 4])
 }
 
+/// Closed-loop client connection counts to sweep in the fig_serve runner
+/// (env `BENCH_CONNS`, comma-separated; default `1,4` — one connection
+/// cannot coalesce across peers, four can).
+pub fn conn_sweep() -> Vec<usize> {
+    usize_list("BENCH_CONNS").unwrap_or_else(|| vec![1, 4])
+}
+
+/// Coalescing window for the fig_serve runner, in microseconds (env
+/// `BENCH_COALESCE_US`, default 200 — matches
+/// `Coalesce::group_read()`).
+pub fn coalesce_window_us() -> u64 {
+    std::env::var("BENCH_COALESCE_US")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(200)
+}
+
+/// Point-read keys per wire request in the fig_serve runner (env
+/// `BENCH_SERVE_KEYS`, default 64 — a fan-out multi-get, the shape a
+/// service tier sees when one upstream call hydrates a page of items).
+pub fn serve_keys_per_request() -> usize {
+    std::env::var("BENCH_SERVE_KEYS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// Outstanding pipelined requests per connection in the fig_serve runner
+/// (env `BENCH_SERVE_DEPTH`, default 4 — the request ids in the frame
+/// header exist so clients can pipeline; 1 is classic lockstep).
+pub fn serve_pipeline_depth() -> usize {
+    std::env::var("BENCH_SERVE_DEPTH")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4)
+}
+
 /// Durability modes to sweep in the fig_durability runner (env
 /// `BENCH_DURABILITY`, comma-separated among `none`, `wal`, `group`;
 /// default all three). Unknown names are dropped.
@@ -163,9 +203,29 @@ pub fn lstore_durable_engine(
         DbConfig::new()
             .with_pool_threads(1)
             .with_shards(shards)
-            .with_wal(wal_path, false)
+            .with_wal_path(wal_path)
             .with_durability(durability),
         TableConfig::default(),
+    ));
+    e.populate(config.rows, config.cols);
+    e
+}
+
+/// Build one populated L-Store engine for the fig_serve runner: a
+/// `pool_threads`-wide task pool, one shard, background merge and
+/// cumulative updates off. The serving figure pre-updates its hot set and
+/// needs the resulting tail chains to *stay* — the point of request
+/// coalescing is deduplicating expensive chain-walking reads across
+/// connections, and auto-merge consolidating mid-run would turn the axis
+/// into a race against the merge queue.
+pub fn lstore_serving_engine(config: &WorkloadConfig, pool_threads: usize) -> Arc<LStoreEngine> {
+    let e = Arc::new(LStoreEngine::with_configs(
+        DbConfig::new()
+            .with_pool_threads(pool_threads)
+            .with_shards(1),
+        TableConfig::default()
+            .with_auto_merge(false)
+            .with_cumulative(false),
     ));
     e.populate(config.rows, config.cols);
     e

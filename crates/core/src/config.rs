@@ -216,18 +216,27 @@ impl DbConfig {
         }
     }
 
-    /// Enable the WAL at `path`. `sync_on_commit` maps onto the durability
-    /// policy ([`Durability::Wal`] when true, [`Durability::None`] when
-    /// false) — the pre-durability-knob API, kept for existing callers;
-    /// use [`DbConfig::with_durability`] for group commit.
-    pub fn with_wal(mut self, path: PathBuf, sync_on_commit: bool) -> Self {
+    /// Enable the WAL at `path`, leaving the commit durability policy to
+    /// [`DbConfig::with_durability`] (default: [`Durability::None`],
+    /// OS-buffered logging).
+    pub fn with_wal_path(mut self, path: PathBuf) -> Self {
         self.wal_path = Some(path);
-        self.durability = if sync_on_commit {
+        self
+    }
+
+    /// Deprecated pre-durability-knob form: enable the WAL at `path` with
+    /// `sync_on_commit` mapped onto the durability policy
+    /// ([`Durability::Wal`] when true, [`Durability::None`] when false). A
+    /// thin wrapper over [`DbConfig::with_wal_path`] +
+    /// [`DbConfig::with_durability`]; the mapping is pinned by
+    /// `wal_builders_set_durability`.
+    #[deprecated(note = "use with_wal_path(path) + with_durability(Durability)")]
+    pub fn with_wal(self, path: PathBuf, sync_on_commit: bool) -> Self {
+        self.with_wal_path(path).with_durability(if sync_on_commit {
             Durability::Wal
         } else {
             Durability::None
-        };
-        self
+        })
     }
 
     /// Set the commit durability policy (takes effect when
@@ -241,13 +250,6 @@ impl DbConfig {
     pub fn with_pool_threads(mut self, pool_threads: usize) -> Self {
         self.pool_threads = pool_threads.max(1);
         self
-    }
-
-    /// Deprecated alias for [`DbConfig::with_pool_threads`], from before the
-    /// merge daemon and the scan pool were unified into one task scheduler.
-    #[deprecated(note = "use with_pool_threads")]
-    pub fn with_scan_threads(self, scan_threads: usize) -> Self {
-        self.with_pool_threads(scan_threads)
     }
 
     /// Set the per-table key-range shard count (clamped to ≥ 1).
@@ -270,16 +272,6 @@ mod tests {
     use super::*;
 
     #[test]
-    #[allow(deprecated)]
-    fn scan_threads_alias_sets_pool_threads() {
-        // Pre-unification callers keep working: the deprecated builder is a
-        // pure alias for the pool width.
-        let config = DbConfig::new().with_scan_threads(6);
-        assert_eq!(config.pool_threads, 6);
-        assert_eq!(DbConfig::new().with_scan_threads(0).pool_threads, 1);
-    }
-
-    #[test]
     fn deterministic_pins_single_threaded_inline_merges() {
         let config = DbConfig::deterministic();
         assert_eq!(config.pool_threads, 1);
@@ -288,9 +280,13 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn wal_builders_set_durability() {
+        // The deprecated two-argument form keeps its historical mapping
+        // through the thin wrapper: sync_on_commit true/false ↔ Wal/None.
         let config = DbConfig::new().with_wal("/tmp/x.wal".into(), true);
         assert_eq!(config.durability, Durability::Wal);
+        assert!(config.wal_path.is_some());
         let config = DbConfig::new().with_wal("/tmp/x.wal".into(), false);
         assert_eq!(config.durability, Durability::None);
         let config = config.with_durability(Durability::group_commit());
@@ -301,6 +297,15 @@ mod tests {
                 max_batch: 64
             }
         );
+    }
+
+    #[test]
+    fn wal_path_builder_leaves_durability_alone() {
+        let config = DbConfig::new()
+            .with_durability(Durability::group_commit())
+            .with_wal_path("/tmp/x.wal".into());
+        assert_eq!(config.wal_path, Some(PathBuf::from("/tmp/x.wal")));
+        assert_eq!(config.durability, Durability::group_commit());
     }
 
     #[test]

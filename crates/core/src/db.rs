@@ -270,6 +270,16 @@ impl Database {
         self.tables.read().get(name).cloned()
     }
 
+    /// Look up a table by name, or [`Error::TableNotFound`]. The `Result`
+    /// twin of [`Database::table`] for callers where a missing table is an
+    /// error — the same error the batched readers return per request, so
+    /// single-table and batched paths can never disagree about what a
+    /// missing table means.
+    pub fn table_or_err(&self, name: &str) -> Result<Arc<Table>> {
+        self.table(name)
+            .ok_or_else(|| Error::TableNotFound(name.to_string()))
+    }
+
     fn table_by_id(&self, id: u32) -> Option<Arc<Table>> {
         self.tables_by_id.read().get(id as usize).cloned()
     }
@@ -392,15 +402,15 @@ impl Database {
         let mut out: Vec<Option<Result<R>>> = Vec::with_capacity(requests.len());
         out.resize_with(requests.len(), || None);
         for (name, (keys, positions)) in groups {
-            match self.table(name) {
-                Some(table) => {
+            match self.table_or_err(name) {
+                Ok(table) => {
                     let results = run(&table, &keys);
                     debug_assert_eq!(results.len(), keys.len());
                     for (pos, result) in positions.into_iter().zip(results) {
                         out[pos] = Some(result);
                     }
                 }
-                None => {
+                Err(_) => {
                     for pos in positions {
                         out[pos] = Some(Err(Error::TableNotFound(name.to_string())));
                     }

@@ -65,6 +65,7 @@ pub mod pool;
 pub mod range;
 pub mod read;
 pub mod replay;
+pub mod request;
 pub mod rid;
 pub mod row;
 pub mod scan;
@@ -76,7 +77,8 @@ pub mod tailseg;
 
 pub use config::{DbConfig, Durability, TableConfig};
 pub use db::Database;
-pub use error::{Error, Result};
+pub use error::{Error, ErrorParts, Result};
+pub use request::{ReadRequest, ReadResponse};
 pub use rid::Rid;
 pub use row::RowTable;
 pub use schema::{Schema, SchemaEncoding};

@@ -139,7 +139,7 @@ impl Table {
     /// data-column indices. One sort buys everything at once: shard
     /// grouping, range locality within a unit, and adjacent-duplicate
     /// deduplication.
-    fn multi_read_outcomes(
+    pub(crate) fn multi_read_outcomes(
         &self,
         keys: &[u64],
         cols: &[usize],
@@ -223,26 +223,18 @@ impl Table {
             .collect()
     }
 
-    /// Validate user columns once for a whole batch; on failure every key
-    /// gets its own (identical) per-key error, exactly as a sequential
-    /// loop of single reads would produce.
-    fn batch_cols(&self, user_cols: &[usize]) -> std::result::Result<Vec<usize>, (usize, usize)> {
-        let mut cols = Vec::with_capacity(user_cols.len());
-        for &c in user_cols {
-            match self.internal_col(c) {
-                Ok(col) => cols.push(col),
-                Err(_) => return Err((c, self.value_columns())),
-            }
-        }
-        Ok(cols)
+    /// Map public value-column indices (the legacy `usize` flavor) to the
+    /// [`crate::request::ReadRequest`] `u32` column selection.
+    fn wire_cols(user_cols: &[usize]) -> Vec<u32> {
+        user_cols.iter().map(|&c| c as u32).collect()
     }
 
     /// Batched latest-committed point reads of **all value columns** — the
-    /// batch variant of [`Table::read_latest_auto`]. One `Result` per key,
-    /// in input order: `Ok(values)` for a visible record,
-    /// [`Error::KeyNotFound`] for an absent *or deleted* key (matching the
-    /// single-key reader). A missing key never fails the rest of the
-    /// batch.
+    /// batch variant of [`Table::read_latest_auto`], a thin adapter over
+    /// [`Table::read_batch`]. One `Result` per key, in input order:
+    /// `Ok(values)` for a visible record, [`Error::KeyNotFound`] for an
+    /// absent *or deleted* key (matching the single-key reader). A missing
+    /// key never fails the rest of the batch.
     ///
     /// Batches of at least `DbConfig::batch_read_min` keys deduplicate,
     /// group by key-range shard, and fan out across the unified task pool
@@ -250,76 +242,47 @@ impl Table {
     /// under `pool_threads = 1`) resolve sequentially on the caller.
     /// Either way the results are byte-identical.
     pub fn multi_read_latest(&self, keys: &[u64]) -> Vec<Result<Vec<u64>>> {
-        let cols: Vec<usize> = (1..self.schema().column_count()).collect();
-        self.multi_read_outcomes(keys, &cols, ReadMode::latest())
+        self.read_batch(keys, None, None)
             .into_iter()
             .zip(keys)
-            .map(|(outcome, &key)| match outcome {
-                PointOutcome::Visible(values) => Ok(values),
-                _ => Err(Error::KeyNotFound(key)),
-            })
+            .map(|(result, &key)| result.and_then(|r| r.values.ok_or(Error::KeyNotFound(key))))
             .collect()
     }
 
     /// Batched latest-committed point reads of **selected value columns**
-    /// — the batch variant of [`Table::read_cols_auto`]. One `Result` per
-    /// key, in input order: `Ok(Some(values))` for a visible record,
-    /// `Ok(None)` for a deleted one, [`Error::KeyNotFound`] for an
-    /// unindexed key, and [`Error::ColumnOutOfRange`] on every key when
-    /// `user_cols` names a column the table lacks.
+    /// — the batch variant of [`Table::read_cols_auto`], a thin adapter
+    /// over [`Table::read_batch`]. One `Result` per key, in input order:
+    /// `Ok(Some(values))` for a visible record, `Ok(None)` for a deleted
+    /// one, [`Error::KeyNotFound`] for an unindexed key, and
+    /// [`Error::ColumnOutOfRange`] on every key when `user_cols` names a
+    /// column the table lacks.
     pub fn multi_read_cols_latest(
         &self,
         keys: &[u64],
         user_cols: &[usize],
     ) -> Vec<Result<Option<Vec<u64>>>> {
-        let cols = match self.batch_cols(user_cols) {
-            Ok(cols) => cols,
-            Err((column, columns)) => {
-                return keys
-                    .iter()
-                    .map(|_| Err(Error::ColumnOutOfRange { column, columns }))
-                    .collect()
-            }
-        };
-        self.multi_read_outcomes(keys, &cols, ReadMode::latest())
+        self.read_batch(keys, Some(&Self::wire_cols(user_cols)), None)
             .into_iter()
-            .zip(keys)
-            .map(|(outcome, &key)| match outcome {
-                PointOutcome::Visible(values) => Ok(Some(values)),
-                PointOutcome::Invisible => Ok(None),
-                PointOutcome::Missing => Err(Error::KeyNotFound(key)),
-            })
+            .map(|result| result.map(|r| r.values))
             .collect()
     }
 
     /// Batched snapshot point reads at timestamp `ts` — the batch variant
-    /// of [`Table::read_as_of`], byte-identical to calling it in a loop
-    /// (for every pool width and shard count): `Ok(Some(values))` for a
-    /// version visible at `ts`, `Ok(None)` for a record deleted or not
-    /// yet inserted at `ts`, [`Error::KeyNotFound`] per unindexed key.
+    /// of [`Table::read_as_of`], a thin adapter over
+    /// [`Table::read_batch`], byte-identical to calling the single-key
+    /// reader in a loop (for every pool width and shard count):
+    /// `Ok(Some(values))` for a version visible at `ts`, `Ok(None)` for a
+    /// record deleted or not yet inserted at `ts`,
+    /// [`Error::KeyNotFound`] per unindexed key.
     pub fn multi_read_as_of(
         &self,
         keys: &[u64],
         user_cols: &[usize],
         ts: u64,
     ) -> Vec<Result<Option<Vec<u64>>>> {
-        let cols = match self.batch_cols(user_cols) {
-            Ok(cols) => cols,
-            Err((column, columns)) => {
-                return keys
-                    .iter()
-                    .map(|_| Err(Error::ColumnOutOfRange { column, columns }))
-                    .collect()
-            }
-        };
-        self.multi_read_outcomes(keys, &cols, ReadMode::as_of(ts))
+        self.read_batch(keys, Some(&Self::wire_cols(user_cols)), Some(ts))
             .into_iter()
-            .zip(keys)
-            .map(|(outcome, &key)| match outcome {
-                PointOutcome::Visible(values) => Ok(Some(values)),
-                PointOutcome::Invisible => Ok(None),
-                PointOutcome::Missing => Err(Error::KeyNotFound(key)),
-            })
+            .map(|result| result.map(|r| r.values))
             .collect()
     }
 }

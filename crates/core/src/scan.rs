@@ -449,32 +449,31 @@ impl Table {
         }
     }
 
-    /// Latest-committed point read of all value columns (auto-commit).
-    /// Resolves through the shared single-key path of
-    /// [`crate::multi_read`]; [`Table::multi_read_latest`] is the batched
-    /// variant.
+    /// Latest-committed point read of all value columns (auto-commit) — a
+    /// thin adapter over [`Table::read_one`] with a latest-snapshot
+    /// [`crate::request::ReadRequest`]; [`Table::multi_read_latest`] is the
+    /// batched variant.
     pub fn read_latest_auto(&self, key: u64) -> crate::error::Result<Vec<u64>> {
-        let cols: Vec<usize> = (1..self.schema().column_count()).collect();
-        match self.resolve_point(key, &cols, ReadMode::latest()) {
-            crate::multi_read::PointOutcome::Visible(values) => Ok(values),
-            _ => Err(crate::error::Error::KeyNotFound(key)),
-        }
+        self.read_one(&crate::request::ReadRequest::latest(key))?
+            .values
+            .ok_or(crate::error::Error::KeyNotFound(key))
     }
 
     /// Latest-committed point read of selected value columns (auto-commit);
-    /// `None` when the record is deleted. The batched variant is
+    /// `None` when the record is deleted, [`Error::ColumnOutOfRange`] when
+    /// `user_cols` names a column the table lacks. A thin adapter over
+    /// [`Table::read_one`]; the batched variant is
     /// [`Table::multi_read_cols_latest`].
+    ///
+    /// [`Error::ColumnOutOfRange`]: crate::error::Error::ColumnOutOfRange
     pub fn read_cols_auto(
         &self,
         key: u64,
         user_cols: &[usize],
     ) -> crate::error::Result<Option<Vec<u64>>> {
-        let cols: Vec<usize> = user_cols.iter().map(|&c| c + 1).collect();
-        match self.resolve_point(key, &cols, ReadMode::latest()) {
-            crate::multi_read::PointOutcome::Visible(values) => Ok(Some(values)),
-            crate::multi_read::PointOutcome::Invisible => Ok(None),
-            crate::multi_read::PointOutcome::Missing => Err(crate::error::Error::KeyNotFound(key)),
-        }
+        let cols: Vec<u32> = user_cols.iter().map(|&c| c as u32).collect();
+        let request = crate::request::ReadRequest::latest(key).with_columns(cols);
+        Ok(self.read_one(&request)?.values)
     }
 
     /// Version-relative read: `versions_back = 0` is the latest committed

@@ -761,20 +761,15 @@ impl Table {
         }
     }
 
-    /// Detached snapshot read of `key` as of timestamp `ts` (time travel).
-    /// The batched variant is [`Table::multi_read_as_of`]; both resolve
-    /// through the same per-key path, so a batch is byte-identical to a
-    /// loop over this method.
+    /// Detached snapshot read of `key` as of timestamp `ts` (time travel)
+    /// — a thin adapter over [`Table::read_one`] with an as-of
+    /// [`crate::request::ReadRequest`]. The batched variant is
+    /// [`Table::multi_read_as_of`]; both resolve through the same per-key
+    /// path, so a batch is byte-identical to a loop over this method.
     pub fn read_as_of(&self, key: u64, user_cols: &[usize], ts: u64) -> Result<Option<Vec<u64>>> {
-        let cols: Vec<usize> = user_cols
-            .iter()
-            .map(|&c| self.internal_col(c))
-            .collect::<Result<_>>()?;
-        match self.resolve_point(key, &cols, ReadMode::as_of(ts)) {
-            crate::multi_read::PointOutcome::Visible(values) => Ok(Some(values)),
-            crate::multi_read::PointOutcome::Invisible => Ok(None),
-            crate::multi_read::PointOutcome::Missing => Err(Error::KeyNotFound(key)),
-        }
+        let cols: Vec<u32> = user_cols.iter().map(|&c| c as u32).collect();
+        let request = crate::request::ReadRequest::as_of(key, ts).with_columns(cols);
+        Ok(self.read_one(&request)?.values)
     }
 
     /// Validation hook (§5.1.1 validate-reads): is `entry`'s observed

@@ -1,0 +1,660 @@
+//! The service tier: a TCP acceptor, per-connection reader/writer threads,
+//! and the request coalescer.
+//!
+//! The coalescer mirrors the WAL's group-commit shape on the read path:
+//! connection readers enqueue decoded point-read requests on one shared
+//! queue; a single coalescer thread collects everything that arrives
+//! within a small window (bounded by `max_batch`), merges requests with
+//! the same `(table, columns, as_of)` signature into one
+//! [`Table::read_batch`] call — which sorts, deduplicates, and fans out
+//! across the engine's unified task pool — and scatters the per-key
+//! results back to their originating connections. Under N closed-loop
+//! connections this turns N small independent probe loops into one
+//! planned batch per window: shared keys resolve once, per-dispatch
+//! overhead amortizes, and the batch planner's shard grouping gets real
+//! batches to work with.
+//!
+//! Backpressure is a bounded in-flight budget: a request admitted past
+//! `max_inflight` outstanding ones is answered immediately with
+//! [`Error::Overloaded`] instead of queueing unboundedly, and a request
+//! that sits queued past `request_timeout` is dropped with
+//! [`Error::RequestTimeout`] when the coalescer reaches it — the client
+//! hears "shed, retry elsewhere/later", never silence.
+//!
+//! [`Table::read_batch`]: lstore::Table::read_batch
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lstore::{Database, Error, ReadResponse};
+use parking_lot::{Condvar, Mutex};
+
+use crate::protocol::{self, Request, Response, HEADER_LEN, MAX_FRAME_LEN};
+
+/// Read-side coalescing policy, the read-path analogue of
+/// `Durability::WalGroupCommit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coalesce {
+    /// No coalescing: each request executes immediately on its
+    /// connection's reader thread (the per-request baseline the bench
+    /// driver compares against).
+    Off,
+    /// Collect requests across all connections into one engine batch.
+    Window {
+        /// Hard cap on how long the first request of a batch may wait.
+        window: Duration,
+        /// Adaptive cut: close the batch once no new request has arrived
+        /// for this long (so a quiet queue never burns the full window).
+        grace: Duration,
+        /// Close the batch early at this many requests.
+        max_batch: usize,
+    },
+}
+
+impl Coalesce {
+    /// Default coalescing variant: a 200µs window, 25µs arrival grace,
+    /// 256-request batches — the read-path twin of
+    /// `Durability::group_commit()`.
+    pub const fn group_read() -> Coalesce {
+        Coalesce::Window {
+            window: Duration::from_micros(200),
+            grace: Duration::from_micros(25),
+            max_batch: 256,
+        }
+    }
+
+    /// A window-length override of [`Coalesce::group_read`] (grace scales
+    /// to an eighth of the window, floored at 5µs).
+    pub const fn window_us(window_us: u64) -> Coalesce {
+        let grace_us = if window_us / 8 < 5 { 5 } else { window_us / 8 };
+        Coalesce::Window {
+            window: Duration::from_micros(window_us),
+            grace: Duration::from_micros(grace_us),
+            max_batch: 256,
+        }
+    }
+}
+
+/// Service-tier configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Read-side coalescing policy.
+    pub coalesce: Coalesce,
+    /// Bounded in-flight request budget: admissions beyond this many
+    /// outstanding requests shed with [`Error::Overloaded`].
+    pub max_inflight: usize,
+    /// Per-request queue deadline: a request still unexecuted this long
+    /// after arrival is answered with [`Error::RequestTimeout`]. `None`
+    /// disables the deadline.
+    pub request_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            coalesce: Coalesce::group_read(),
+            max_inflight: 4096,
+            request_timeout: Some(Duration::from_secs(1)),
+        }
+    }
+}
+
+/// Monotonic service-tier counters (snapshot via [`Server::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Read/multi-read requests admitted past the budget.
+    pub admitted: u64,
+    /// Requests shed with `Overloaded`.
+    pub shed: u64,
+    /// Requests dropped with `RequestTimeout`.
+    pub timed_out: u64,
+    /// Coalesced engine batches executed (window mode only).
+    pub batches: u64,
+    /// Requests served through those batches.
+    pub batched_requests: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    timed_out: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+}
+
+/// One admitted request waiting for (or undergoing) execution.
+struct Pending {
+    writer: Arc<ConnWriter>,
+    request_id: u64,
+    table: String,
+    keys: Vec<u64>,
+    columns: Option<Vec<u32>>,
+    as_of: Option<u64>,
+    arrived: Instant,
+}
+
+/// Outbound frame queue of one connection, drained by its writer thread.
+/// Readers and the coalescer push encoded frames; the writer thread owns
+/// the socket's write half, so response order within a connection is
+/// whatever completion order was — request ids do the matching.
+struct ConnWriter {
+    frames: Mutex<Vec<Vec<u8>>>,
+    cv: Condvar,
+    done: AtomicBool,
+}
+
+impl ConnWriter {
+    fn new() -> ConnWriter {
+        ConnWriter {
+            frames: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    fn push(&self, frame: Vec<u8>) {
+        self.frames.lock().push(frame);
+        self.cv.notify_one();
+    }
+
+    fn close(&self) {
+        self.done.store(true, Ordering::Release);
+        self.cv.notify_one();
+    }
+}
+
+struct Shared {
+    db: Arc<Database>,
+    config: ServerConfig,
+    stop: AtomicBool,
+    inflight: AtomicUsize,
+    queue: Mutex<VecDeque<Pending>>,
+    queue_cv: Condvar,
+    counters: Counters,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running service tier. Dropping (or [`Server::shutdown`]) stops the
+/// acceptor and coalescer and joins every connection thread.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    core_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port; see
+    /// [`Server::local_addr`]) and start serving `db`.
+    pub fn start(
+        db: Arc<Database>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            db,
+            config,
+            stop: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            counters: Counters::default(),
+            conn_threads: Mutex::new(Vec::new()),
+        });
+        let mut core = Vec::new();
+        if let Coalesce::Window {
+            window,
+            grace,
+            max_batch,
+        } = shared.config.coalesce
+        {
+            let s = Arc::clone(&shared);
+            core.push(
+                std::thread::Builder::new()
+                    .name("lstore-coalescer".into())
+                    .spawn(move || coalescer_loop(&s, window, grace, max_batch.max(1)))?,
+            );
+        }
+        let s = Arc::clone(&shared);
+        core.push(
+            std::thread::Builder::new()
+                .name("lstore-acceptor".into())
+                .spawn(move || acceptor_loop(&s, listener))?,
+        );
+        Ok(Server {
+            shared,
+            addr,
+            core_threads: Mutex::new(core),
+        })
+    }
+
+    /// The bound address (resolves port-0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot the service-tier counters.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.counters;
+        ServerStats {
+            admitted: c.admitted.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            timed_out: c.timed_out.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            batched_requests: c.batched_requests.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting, wake the coalescer, and join every thread.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.queue_cv.notify_all();
+        for handle in self.core_threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+        for handle in self.shared.conn_threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Acceptor + per-connection threads
+// ---------------------------------------------------------------------
+
+/// How long blocked reads (and the accept poll) sleep before re-checking
+/// the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+fn acceptor_loop(shared: &Arc<Shared>, listener: TcpListener) {
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if let Err(e) = spawn_connection(shared, stream) {
+                    // Socket setup failed (peer already gone, fd limits);
+                    // drop the connection, keep serving.
+                    let _ = e;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+fn spawn_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let write_half = stream.try_clone()?;
+    let writer = Arc::new(ConnWriter::new());
+    let mut handles = shared.conn_threads.lock();
+    let w = Arc::clone(&writer);
+    handles.push(
+        std::thread::Builder::new()
+            .name("lstore-conn-writer".into())
+            .spawn(move || writer_loop(&w, write_half))?,
+    );
+    let s = Arc::clone(shared);
+    handles.push(
+        std::thread::Builder::new()
+            .name("lstore-conn-reader".into())
+            .spawn(move || {
+                reader_loop(&s, stream, &writer);
+                writer.close();
+            })?,
+    );
+    Ok(())
+}
+
+fn writer_loop(writer: &ConnWriter, mut stream: TcpStream) {
+    use std::io::Write;
+    loop {
+        let batch = {
+            let mut frames = writer.frames.lock();
+            while frames.is_empty() {
+                if writer.done.load(Ordering::Acquire) {
+                    return;
+                }
+                writer.cv.wait(&mut frames);
+            }
+            std::mem::take(&mut *frames)
+        };
+        for frame in batch {
+            if stream.write_all(&frame).is_err() {
+                // Peer gone: drain silently until the reader notices EOF
+                // and closes us.
+                writer.done.store(true, Ordering::Release);
+                return;
+            }
+        }
+    }
+}
+
+fn reader_loop(shared: &Arc<Shared>, mut stream: TcpStream, writer: &Arc<ConnWriter>) {
+    loop {
+        let payload = match read_frame_interruptible(&mut stream, &shared.stop) {
+            Ok(Some(payload)) => payload,
+            Ok(None) | Err(_) => return,
+        };
+        match protocol::decode_request(&payload) {
+            Ok((id, Request::Ping)) => {
+                writer.push(protocol::encode_response(id, &Response::Pong));
+            }
+            Ok((id, Request::Read { table, request })) => {
+                let columns = request.columns;
+                submit(
+                    shared,
+                    writer,
+                    id,
+                    table,
+                    vec![request.key],
+                    columns,
+                    request.as_of,
+                );
+            }
+            Ok((
+                id,
+                Request::MultiRead {
+                    table,
+                    keys,
+                    columns,
+                    as_of,
+                },
+            )) => {
+                submit(shared, writer, id, table, keys, columns, as_of);
+            }
+            Err(e) => {
+                // The frame was well-delimited but unspeakable. Framing is
+                // still sound, yet the peer is confused (or hostile):
+                // answer with the protocol error and drop the connection.
+                writer.push(protocol::encode_response(0, &Response::Rejected(e)));
+                return;
+            }
+        }
+    }
+}
+
+/// Admit one read request past the in-flight budget, then hand it to the
+/// coalescer queue (window mode) or execute it inline on this reader
+/// thread (per-request mode).
+#[allow(clippy::too_many_arguments)]
+fn submit(
+    shared: &Arc<Shared>,
+    writer: &Arc<ConnWriter>,
+    request_id: u64,
+    table: String,
+    keys: Vec<u64>,
+    columns: Option<Vec<u32>>,
+    as_of: Option<u64>,
+) {
+    let prev = shared.inflight.fetch_add(1, Ordering::AcqRel);
+    if prev >= shared.config.max_inflight {
+        shared.inflight.fetch_sub(1, Ordering::AcqRel);
+        shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        writer.push(protocol::encode_response(
+            request_id,
+            &Response::Rejected(Error::Overloaded),
+        ));
+        return;
+    }
+    shared.counters.admitted.fetch_add(1, Ordering::Relaxed);
+    let pending = Pending {
+        writer: Arc::clone(writer),
+        request_id,
+        table,
+        keys,
+        columns,
+        as_of,
+        arrived: Instant::now(),
+    };
+    match shared.config.coalesce {
+        Coalesce::Off => execute_one(shared, pending),
+        Coalesce::Window { .. } => {
+            shared.queue.lock().push_back(pending);
+            shared.queue_cv.notify_one();
+        }
+    }
+}
+
+/// Encode + enqueue a response and release the request's budget slot.
+fn respond(shared: &Shared, pending: &Pending, response: &Response) {
+    pending
+        .writer
+        .push(protocol::encode_response(pending.request_id, response));
+    shared.inflight.fetch_sub(1, Ordering::AcqRel);
+}
+
+fn table_results(
+    shared: &Shared,
+    table: &str,
+    keys: &[u64],
+    columns: Option<&[u32]>,
+    as_of: Option<u64>,
+) -> Vec<lstore::Result<ReadResponse>> {
+    match shared.db.table_or_err(table) {
+        Ok(t) => t.read_batch(keys, columns, as_of),
+        Err(_) => keys
+            .iter()
+            .map(|_| Err(Error::TableNotFound(table.to_string())))
+            .collect(),
+    }
+}
+
+/// Per-request mode: execute immediately on the calling reader thread.
+fn execute_one(shared: &Shared, pending: Pending) {
+    let results = table_results(
+        shared,
+        &pending.table,
+        &pending.keys,
+        pending.columns.as_deref(),
+        pending.as_of,
+    );
+    respond(shared, &pending, &Response::Results(results));
+}
+
+// ---------------------------------------------------------------------
+// The coalescer
+// ---------------------------------------------------------------------
+
+/// Collect-and-execute loop. Batch lifecycle: sleep until a leader
+/// request arrives, then keep collecting until the hard `window` deadline
+/// (measured from the leader's pop), an arrival gap longer than `grace`,
+/// or `max_batch` requests — whichever comes first. Closed-loop clients
+/// self-synchronize with this: a batch's responses release its
+/// connections together, their next requests arrive as a burst, the gap
+/// rule cuts the batch right after the burst, and the window cap only
+/// matters under trickle arrivals.
+fn coalescer_loop(shared: &Arc<Shared>, window: Duration, grace: Duration, max_batch: usize) {
+    loop {
+        let mut batch: Vec<Pending> = Vec::new();
+        {
+            let mut queue = shared.queue.lock();
+            let mut opened = Instant::now();
+            loop {
+                while batch.len() < max_batch {
+                    match queue.pop_front() {
+                        Some(p) => {
+                            if batch.is_empty() {
+                                opened = Instant::now();
+                            }
+                            batch.push(p);
+                        }
+                        None => break,
+                    }
+                }
+                if batch.len() >= max_batch {
+                    break;
+                }
+                if batch.is_empty() {
+                    if shared.stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    shared.queue_cv.wait(&mut queue);
+                    continue;
+                }
+                let now = Instant::now();
+                let deadline = opened + window;
+                if now >= deadline {
+                    break;
+                }
+                let timed_out = shared
+                    .queue_cv
+                    .wait_for(&mut queue, (deadline - now).min(grace))
+                    .timed_out();
+                if timed_out && queue.is_empty() {
+                    break; // grace elapsed with no new arrivals
+                }
+            }
+        }
+        execute_batch(shared, batch);
+    }
+}
+
+/// Execute one coalesced batch: drop timed-out requests, merge the rest
+/// by `(table, columns, as_of)` signature into one engine batch each, and
+/// scatter results back per request.
+fn execute_batch(shared: &Shared, batch: Vec<Pending>) {
+    let mut live: Vec<Pending> = Vec::with_capacity(batch.len());
+    for pending in batch {
+        match shared.config.request_timeout {
+            Some(deadline) if pending.arrived.elapsed() > deadline => {
+                shared.counters.timed_out.fetch_add(1, Ordering::Relaxed);
+                respond(shared, &pending, &Response::Rejected(Error::RequestTimeout));
+            }
+            _ => live.push(pending),
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .counters
+        .batched_requests
+        .fetch_add(live.len() as u64, Ordering::Relaxed);
+
+    // Group member indices by execution signature.
+    type Signature<'a> = (&'a str, Option<&'a [u32]>, Option<u64>);
+    let mut index: HashMap<Signature<'_>, usize> = HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, p) in live.iter().enumerate() {
+        let sig = (p.table.as_str(), p.columns.as_deref(), p.as_of);
+        let g = *index.entry(sig).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[g].push(i);
+    }
+
+    // One engine batch per signature; results split back per member.
+    let mut results: Vec<Option<Vec<lstore::Result<ReadResponse>>>> =
+        live.iter().map(|_| None).collect();
+    for members in &groups {
+        let first = &live[members[0]];
+        let keys: Vec<u64> = members
+            .iter()
+            .flat_map(|&i| live[i].keys.iter().copied())
+            .collect();
+        let outs = table_results(
+            shared,
+            &first.table,
+            &keys,
+            first.columns.as_deref(),
+            first.as_of,
+        );
+        let mut iter = outs.into_iter();
+        for &i in members {
+            let n = live[i].keys.len();
+            results[i] = Some(iter.by_ref().take(n).collect());
+        }
+    }
+    for (pending, result) in live.iter().zip(results) {
+        respond(
+            shared,
+            pending,
+            &Response::Results(result.expect("every member resolved")),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Interruptible frame reads
+// ---------------------------------------------------------------------
+
+fn is_poll_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// [`protocol::read_frame`] with stop-flag polling: the socket has a read
+/// timeout, and partial reads accumulate in our buffer across timeouts —
+/// a poll tick can never lose frame sync.
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match stream.read(&mut len_bytes[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e) if is_poll_timeout(&e) => {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if !(HEADER_LEN..=MAX_FRAME_LEN).contains(&len) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} outside [{HEADER_LEN}, {MAX_FRAME_LEN}]"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match stream.read(&mut payload[filled..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e) if is_poll_timeout(&e) => {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
+}

@@ -78,7 +78,7 @@ fn durability_modes_produce_identical_reads() {
             let db = Database::new(
                 DbConfig::deterministic()
                     .with_shards(shards)
-                    .with_wal(path.clone(), false)
+                    .with_wal_path(path.clone())
                     .with_durability(durability),
             );
             let t = db
@@ -165,7 +165,7 @@ fn group_commit_under_concurrency_recovers_every_commit() {
             DbConfig::new()
                 .with_shards(4)
                 .with_pool_threads(2)
-                .with_wal(path.clone(), false)
+                .with_wal_path(path.clone())
                 .with_durability(Durability::WalGroupCommit {
                     window_us: 150,
                     max_batch: 8,

@@ -42,7 +42,7 @@ fn replay_reconstructs_committed_state() {
     let expected: Vec<Vec<u64>>;
     {
         // "Before the crash": run a workload with the WAL on.
-        let db = Database::new(DbConfig::deterministic().with_wal(path.clone(), false));
+        let db = Database::new(DbConfig::deterministic().with_wal_path(path.clone()));
         let t = db
             .create_table("r", &["a", "b"], TableConfig::small())
             .unwrap();
@@ -97,7 +97,7 @@ fn replay_reconstructs_committed_state() {
 fn inflight_transactions_are_tombstoned() {
     let path = wal_path("inflight");
     {
-        let db = Database::new(DbConfig::deterministic().with_wal(path.clone(), false));
+        let db = Database::new(DbConfig::deterministic().with_wal_path(path.clone()));
         let t = db.create_table("r", &["a"], TableConfig::small()).unwrap();
         for k in 0..50 {
             t.insert_auto(k, &[k]).unwrap();
@@ -137,7 +137,7 @@ fn inflight_transactions_are_tombstoned() {
 fn torn_log_tail_recovers_prefix() {
     let path = wal_path("torn");
     {
-        let db = Database::new(DbConfig::deterministic().with_wal(path.clone(), false));
+        let db = Database::new(DbConfig::deterministic().with_wal_path(path.clone()));
         let t = db.create_table("r", &["a"], TableConfig::small()).unwrap();
         for k in 0..20 {
             t.insert_auto(k, &[k]).unwrap();
@@ -178,7 +178,7 @@ fn replay_is_shard_count_agnostic() {
         let db = Database::new(
             DbConfig::deterministic()
                 .with_shards(4)
-                .with_wal(path.clone(), false),
+                .with_wal_path(path.clone()),
         );
         let t = db
             .create_table("r", &["a", "b"], TableConfig::small())
@@ -254,7 +254,7 @@ fn replay_is_shard_count_agnostic() {
 fn recovered_table_resumes_writes_and_merges() {
     let path = wal_path("resume");
     {
-        let db = Database::new(DbConfig::deterministic().with_wal(path.clone(), false));
+        let db = Database::new(DbConfig::deterministic().with_wal_path(path.clone()));
         let t = db
             .create_table("r", &["a", "b"], TableConfig::small())
             .unwrap();
@@ -310,7 +310,7 @@ fn recovery_roundtrip_matrix_cell() {
         let db = Database::new(
             DbConfig::deterministic()
                 .with_shards(shards)
-                .with_wal(path.clone(), false)
+                .with_wal_path(path.clone())
                 .with_durability(durability),
         );
         let t = db
@@ -387,7 +387,7 @@ fn crash_replay_at_random_kill_points_matches_undamaged_run() {
         let db = Database::new(
             DbConfig::deterministic()
                 .with_shards(4)
-                .with_wal(path.clone(), false),
+                .with_wal_path(path.clone()),
         );
         let t = db
             .create_table("r", &["a", "b"], TableConfig::small())
