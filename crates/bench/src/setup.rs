@@ -231,6 +231,28 @@ pub fn lstore_serving_engine(config: &WorkloadConfig, pool_threads: usize) -> Ar
     e
 }
 
+/// Build one populated L-Store engine for the fig_tatp contention runner:
+/// a `pool_threads`-wide task pool, one shard, background merge and
+/// cumulative updates off (the runner pre-updates its rows and measures
+/// reads that walk the resulting tail chains, like the serving figure),
+/// and a lowered `batch_read_min` of 4 so the runner's 64-key
+/// transactional batches cut into several parallel units even at modest
+/// pool widths (the default floor of 16 would keep a 64-key batch in one
+/// inline unit and hide the fan-out entirely).
+pub fn lstore_contention_engine(config: &WorkloadConfig, pool_threads: usize) -> Arc<LStoreEngine> {
+    let e = Arc::new(LStoreEngine::with_configs(
+        DbConfig::new()
+            .with_pool_threads(pool_threads)
+            .with_shards(1)
+            .with_batch_read_min(4),
+        TableConfig::default()
+            .with_auto_merge(false)
+            .with_cumulative(false),
+    ));
+    e.populate(config.rows, config.cols);
+    e
+}
+
 /// Build one populated L-Store engine with a `pool_threads`-wide unified
 /// task pool and a single key-range shard: the Table 9 batched-read axis
 /// varies only read-side fan-out, so writer sharding is pinned off.

@@ -1,7 +1,7 @@
 //! Workload generation for the §6.1 micro-benchmark.
 
 use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use rand::{RngCore, RngExt, SeedableRng};
 
 /// Contention level = size of the database active set (§6.1): "low
 /// contention, where the database active set is 10M records; medium
@@ -77,6 +77,63 @@ impl WorkloadConfig {
             }
         }
         self
+    }
+}
+
+/// Zipfian key distribution over `0..n` with skew `theta` (Gray et al.,
+/// *Quickly Generating Billion-Record Synthetic Databases*, SIGMOD '94 —
+/// the same generator YCSB uses). Rank 0 is the hottest key and ranks are
+/// **not** shuffled, so "the hot set" is simply the low keys; at the
+/// customary θ = 0.99 a handful of keys absorb most of the traffic, which
+/// is what drives commit-time conflicts in the contention benchmarks.
+///
+/// Construction is `O(n)` (the harmonic sum); sampling is `O(1)`, so build
+/// one instance per table and share it across worker threads (it is
+/// immutable — the caller supplies the RNG).
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// Distribution over `0..n`; `theta` must lie strictly in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "empty key space");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0, 1), got {theta}"
+        );
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        Zipfian {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draw the next key rank in `0..n`.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> u64 {
+        // 53-bit uniform float in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let k = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        k.min(self.n - 1)
     }
 }
 
@@ -204,6 +261,44 @@ mod tests {
         let b = Workload::new(WorkloadConfig::default(), 4).next_txn(None);
         assert_eq!(a1.reads, a2.reads);
         assert_ne!(a1.reads, b.reads);
+    }
+
+    #[test]
+    fn zipfian_is_bounded_and_skewed() {
+        let z = Zipfian::new(10_000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let draws = 100_000;
+        let mut hot = 0u64;
+        for _ in 0..draws {
+            let k = z.sample(&mut rng);
+            assert!(k < 10_000);
+            if k < 100 {
+                hot += 1;
+            }
+        }
+        // At θ = 0.99 the top 1% of ranks absorbs well over a third of the
+        // draws (a uniform distribution would give them 1%).
+        assert!(hot * 100 > draws * 35, "top-100 ranks drew {hot}/{draws}");
+    }
+
+    #[test]
+    fn zipfian_is_deterministic_per_seed() {
+        let z = Zipfian::new(1_000, 0.99);
+        let seq = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..32).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(7), seq(7));
+        assert_ne!(seq(7), seq(8));
+    }
+
+    #[test]
+    fn zipfian_degenerate_single_key() {
+        let z = Zipfian::new(1, 0.5);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
     }
 
     #[test]

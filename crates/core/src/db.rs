@@ -16,7 +16,7 @@ use std::sync::{Arc, OnceLock, Weak};
 use parking_lot::RwLock;
 
 use lstore_storage::epoch::EpochManager;
-use lstore_txn::{GlobalClock, IsolationLevel, Transaction, TxnManager};
+use lstore_txn::{GlobalClock, IsolationLevel, Transaction, TxnManager, TxnStatus};
 use lstore_wal::{CommitPolicy, LogRecord, ShardedWal, ShardedWalConfig};
 
 use crate::config::{DbConfig, Durability, TableConfig};
@@ -280,7 +280,7 @@ impl Database {
             .ok_or_else(|| Error::TableNotFound(name.to_string()))
     }
 
-    fn table_by_id(&self, id: u32) -> Option<Arc<Table>> {
+    pub(crate) fn table_by_id(&self, id: u32) -> Option<Arc<Table>> {
         self.tables_by_id.read().get(id as usize).cloned()
     }
 
@@ -301,42 +301,63 @@ impl Database {
     }
 
     /// Commit: pre-commit (commit timestamp + state change), validate reads
-    /// if required, write the commit log record, finalize. On validation
-    /// failure the transaction is aborted and `ValidationFailed` returned.
+    /// if required (batched over the task pool, see
+    /// `Database::validate_read_set`), write the commit log record,
+    /// finalize, and apply the write set (eager timestamp stamping +
+    /// deferred secondary-index removals, see
+    /// `Database::apply_committed_writes`).
+    ///
+    /// On validation failure the transaction aborts **through the
+    /// WAL-writing abort path** — recovery must classify it as aborted,
+    /// not unresolved — and `ValidationFailed` is returned. A WAL error on
+    /// the commit record likewise aborts before propagating: a transaction
+    /// whose commit never became durable must not linger in pre-commit
+    /// limbo (commit timestamp stamped, GC horizon pinned, recovery
+    /// undecided). Calling `commit` on an already-finalized transaction
+    /// (committed or aborted) returns [`Error::TxnFinalized`] without
+    /// touching the §5.1.1 state machine.
     pub fn commit(&self, txn: &mut Transaction) -> Result<u64> {
+        match self.runtime.mgr.get(txn.id).map(|info| info.status) {
+            Some(TxnStatus::Active) => {}
+            _ => return Err(Error::TxnFinalized),
+        }
         let commit_ts = self.runtime.mgr.pre_commit(txn.id, &self.runtime.clock);
         txn.commit = commit_ts;
         if txn.needs_validation() {
             let read_set = std::mem::take(&mut txn.read_set);
-            for entry in &read_set {
-                let table = self
-                    .table_by_id(entry.table_id)
-                    .expect("read-set table exists");
-                if !table.validate_read(entry, txn.id) {
-                    self.abort_inner(txn);
-                    return Err(Error::ValidationFailed {
-                        base_rid: entry.base_rid,
-                    });
-                }
+            if let Some(base_rid) = self.validate_read_set(&read_set, txn.id) {
+                self.abort(txn);
+                return Err(Error::ValidationFailed { base_rid });
             }
         }
         if let Some(wal) = &self.runtime.wal {
-            wal.commit(
+            if let Err(e) = wal.commit(
                 &touched_ranges(txn),
                 &LogRecord::Commit {
                     txn_id: txn.id,
                     commit_ts,
                 },
-            )?;
+            ) {
+                self.abort(txn);
+                return Err(e.into());
+            }
         }
         self.runtime.mgr.commit(txn.id);
+        self.apply_committed_writes(txn, commit_ts);
         Ok(commit_ts)
     }
 
     /// Abort: mark the transaction aborted (its tail records become
     /// tombstones — nothing is physically removed, §5.1.3) and unhook
-    /// primary-index entries of its inserts.
+    /// primary-index entries of its inserts. A no-op on an
+    /// already-finalized transaction: aborting after a successful commit
+    /// must not flip a `Committed` entry to `Aborted` (which would
+    /// retroactively tombstone durably committed versions).
     pub fn abort(&self, txn: &mut Transaction) {
+        match self.runtime.mgr.get(txn.id).map(|info| info.status) {
+            Some(TxnStatus::Active | TxnStatus::PreCommit) => {}
+            _ => return,
+        }
         self.abort_inner(txn);
         if let Some(wal) = &self.runtime.wal {
             let _ = wal.commit(&touched_ranges(txn), &LogRecord::Abort { txn_id: txn.id });

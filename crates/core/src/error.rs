@@ -23,6 +23,12 @@ pub enum Error {
     TooManyColumns(usize),
     /// Operation on a transaction that is no longer active.
     TxnNotActive,
+    /// Commit (or another lifecycle transition) on a transaction that has
+    /// already been finalized — committed or aborted. Unlike
+    /// [`Error::TxnNotActive`] (an operation inside a transaction that
+    /// stopped being active), this is the commit path refusing to re-enter
+    /// the §5.1.1 state machine on a terminal state.
+    TxnFinalized,
     /// Storage-layer failure.
     Storage(lstore_storage::StorageError),
     /// Log / recovery failure.
@@ -86,6 +92,7 @@ impl Error {
             Error::Overloaded => 11,
             Error::RequestTimeout => 12,
             Error::Protocol(_) => 13,
+            Error::TxnFinalized => 14,
             Error::Remote { code, .. } => *code,
         }
     }
@@ -102,9 +109,10 @@ impl Error {
                 (*column as u64, *columns as u64, String::new())
             }
             Error::TooManyColumns(n) => (*n as u64, 0, String::new()),
-            Error::TxnNotActive | Error::Overloaded | Error::RequestTimeout => {
-                (0, 0, String::new())
-            }
+            Error::TxnNotActive
+            | Error::TxnFinalized
+            | Error::Overloaded
+            | Error::RequestTimeout => (0, 0, String::new()),
             Error::Storage(e) => (0, 0, e.to_string()),
             Error::Wal(e) => (0, 0, e.to_string()),
             Error::Protocol(detail) => (0, 0, detail.clone()),
@@ -139,6 +147,7 @@ impl Error {
             11 => Error::Overloaded,
             12 => Error::RequestTimeout,
             13 => Error::Protocol(detail),
+            14 => Error::TxnFinalized,
             _ => Error::Remote { code, detail },
         }
     }
@@ -166,6 +175,9 @@ impl fmt::Display for Error {
                 )
             }
             Error::TxnNotActive => write!(f, "transaction is not active"),
+            Error::TxnFinalized => {
+                write!(f, "transaction already finalized (committed or aborted)")
+            }
             Error::Storage(e) => write!(f, "storage error: {e}"),
             Error::Wal(e) => write!(f, "wal error: {e}"),
             Error::Overloaded => write!(f, "server overloaded: request shed by in-flight budget"),
@@ -218,6 +230,7 @@ mod tests {
             },
             Error::TooManyColumns(99),
             Error::TxnNotActive,
+            Error::TxnFinalized,
             Error::Overloaded,
             Error::RequestTimeout,
             Error::Protocol("bad magic".into()),
@@ -231,7 +244,7 @@ mod tests {
     #[test]
     fn codes_are_stable_and_distinct() {
         let codes: Vec<u16> = samples().iter().map(Error::code).collect();
-        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8, 11, 12, 13, 10]);
+        assert_eq!(codes, vec![1, 2, 3, 4, 5, 6, 7, 8, 14, 11, 12, 13, 10]);
     }
 
     #[test]

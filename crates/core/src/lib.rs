@@ -55,6 +55,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod commit;
 pub mod config;
 pub mod db;
 pub mod error;
@@ -75,6 +76,7 @@ pub mod stats;
 pub mod table;
 pub mod tailseg;
 
+pub use commit::TransactionReads;
 pub use config::{DbConfig, Durability, TableConfig};
 pub use db::Database;
 pub use error::{Error, ErrorParts, Result};

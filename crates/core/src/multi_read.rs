@@ -56,14 +56,30 @@ use crate::table::Table;
 
 /// Resolution of one key against one table — the shared currency of every
 /// point-read entry point, batched or not. `Clone` so duplicate keys in a
-/// batch can share a single resolution.
+/// batch can share a single resolution. Carries the base and version RIDs
+/// so transactional callers can join outcomes into their read set exactly
+/// as the single-key [`Table::read`] path does.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum PointOutcome {
     /// A visible version existed; the requested columns' values.
-    Visible(Vec<u64>),
+    Visible {
+        /// The probed base record.
+        base_rid: u64,
+        /// The version that was visible (read-set validation currency).
+        version_rid: u64,
+        /// The requested columns' values.
+        values: Vec<u64>,
+    },
     /// The key is indexed but no version is visible (deleted, or not yet
     /// committed at the requested snapshot).
-    Invisible,
+    Invisible {
+        /// The probed base record.
+        base_rid: u64,
+        /// True when the visible version is a delete marker (tracked by
+        /// transactional reads, like [`Table::read`]'s `Deleted` arm);
+        /// false when nothing is visible at all (never tracked).
+        deleted: bool,
+    },
     /// The key is absent from the primary index.
     Missing,
 }
@@ -80,9 +96,28 @@ impl Table {
         let range = self.range(base_rid.range());
         let base = range.base();
         let reader = self.reader(&range, &base);
-        match reader.read_record(base_rid.slot(), cols, mode) {
-            Resolved::Visible { values, .. } => PointOutcome::Visible(values),
-            _ => PointOutcome::Invisible,
+        Self::outcome_of(base_rid, reader.read_record(base_rid.slot(), cols, mode))
+    }
+
+    /// Map one slot resolution to the shared [`PointOutcome`] currency.
+    fn outcome_of(base_rid: crate::rid::Rid, resolved: Resolved) -> PointOutcome {
+        match resolved {
+            Resolved::Visible {
+                version_rid,
+                values,
+            } => PointOutcome::Visible {
+                base_rid: base_rid.0,
+                version_rid: version_rid.0,
+                values,
+            },
+            Resolved::Deleted => PointOutcome::Invisible {
+                base_rid: base_rid.0,
+                deleted: true,
+            },
+            Resolved::NotVisible => PointOutcome::Invisible {
+                base_rid: base_rid.0,
+                deleted: false,
+            },
         }
     }
 
@@ -120,10 +155,7 @@ impl Table {
                     }
                     let (_, range, base) = cache.as_ref().expect("cache just filled");
                     let reader = self.reader(range, base);
-                    match reader.read_record(base_rid.slot(), cols, mode) {
-                        Resolved::Visible { values, .. } => PointOutcome::Visible(values),
-                        _ => PointOutcome::Invisible,
-                    }
+                    Self::outcome_of(base_rid, reader.read_record(base_rid.slot(), cols, mode))
                 }
             };
             for &(_, _, pos) in &unit[i..j - 1] {

@@ -135,8 +135,8 @@ impl Table {
             None => ReadMode::latest(),
         };
         match self.resolve_point(request.key, &cols, mode) {
-            PointOutcome::Visible(values) => Ok(ReadResponse::visible(values)),
-            PointOutcome::Invisible => Ok(ReadResponse::invisible()),
+            PointOutcome::Visible { values, .. } => Ok(ReadResponse::visible(values)),
+            PointOutcome::Invisible { .. } => Ok(ReadResponse::invisible()),
             PointOutcome::Missing => Err(Error::KeyNotFound(request.key)),
         }
     }
@@ -175,8 +175,8 @@ impl Table {
             .into_iter()
             .zip(keys)
             .map(|(outcome, &key)| match outcome {
-                PointOutcome::Visible(values) => Ok(ReadResponse::visible(values)),
-                PointOutcome::Invisible => Ok(ReadResponse::invisible()),
+                PointOutcome::Visible { values, .. } => Ok(ReadResponse::visible(values)),
+                PointOutcome::Invisible { .. } => Ok(ReadResponse::invisible()),
                 PointOutcome::Missing => Err(Error::KeyNotFound(key)),
             })
             .collect()

@@ -41,6 +41,7 @@ use crate::db::Runtime;
 use crate::error::{Error, Result};
 use crate::historic::HistoricStore;
 use crate::merge::{self, MergeReport};
+use crate::multi_read::PointOutcome;
 use crate::range::UpdateRange;
 use crate::read::{ReadMode, Resolved, VersionReader};
 use crate::rid::Rid;
@@ -301,6 +302,22 @@ impl Table {
         }
         self.secondary.write().push((col, Arc::clone(&idx)));
         Ok(idx)
+    }
+
+    /// Snapshot the registered secondary indexes as `(internal column,
+    /// handle)` pairs, or `None` when the table has no secondary index —
+    /// the commit-time write applier's entry point, behind the same
+    /// fast-path flag the write path uses.
+    pub(crate) fn secondary_indexes(&self) -> Option<Vec<(usize, Arc<SecondaryIndex>)>> {
+        if !self.has_secondary.load(Ordering::Acquire) {
+            return None;
+        }
+        let list = self.secondary.read().clone();
+        if list.is_empty() {
+            None
+        } else {
+            Some(list)
+        }
     }
 
     /// Look up a secondary index previously created on `user_col`.
@@ -678,7 +695,7 @@ impl Table {
     // Reads
     // ------------------------------------------------------------------
 
-    fn mode_for(&self, txn: &Transaction, speculative: bool) -> ReadMode {
+    pub(crate) fn mode_for(&self, txn: &Transaction, speculative: bool) -> ReadMode {
         match txn.isolation {
             lstore_txn::IsolationLevel::ReadCommitted => ReadMode {
                 as_of: None,
@@ -761,6 +778,75 @@ impl Table {
         }
     }
 
+    /// Batched transactional point reads: the read-set-joining twin of
+    /// [`Table::read`], resolving every key through the batched planner
+    /// ([`Table::multi_read_outcomes`]) under the transaction's isolation
+    /// mode. One `Result` per key, in input order, each byte-identical to
+    /// a [`Table::read`] call at the same point in the transaction —
+    /// including read-set tracking (duplicate keys track duplicate
+    /// entries, exactly like a loop) and own-write visibility (a
+    /// transaction's own versions resolve visible under any snapshot
+    /// bound, so read-your-own-writes holds on the batched path too).
+    pub(crate) fn multi_read_txn(
+        &self,
+        txn: &mut Transaction,
+        keys: &[u64],
+        user_cols: &[usize],
+    ) -> Vec<Result<Option<Vec<u64>>>> {
+        let cols: Vec<usize> = match user_cols
+            .iter()
+            .map(|&c| self.internal_col(c))
+            .collect::<Result<_>>()
+        {
+            Ok(cols) => cols,
+            Err(e) => {
+                // `Error` is not `Clone`: mint one per key, like `read_batch`.
+                let (column, columns) = match e {
+                    Error::ColumnOutOfRange { column, columns } => (column, columns),
+                    _ => unreachable!("internal_col only fails with ColumnOutOfRange"),
+                };
+                return keys
+                    .iter()
+                    .map(|_| Err(Error::ColumnOutOfRange { column, columns }))
+                    .collect();
+            }
+        };
+        let mode = self.mode_for(txn, false);
+        self.multi_read_outcomes(keys, &cols, mode)
+            .into_iter()
+            .zip(keys)
+            .map(|(outcome, &key)| match outcome {
+                PointOutcome::Visible {
+                    base_rid,
+                    version_rid,
+                    values,
+                } => {
+                    txn.track_read(ReadSetEntry {
+                        table_id: self.id,
+                        base_rid,
+                        version_rid,
+                        speculative: false,
+                    });
+                    Ok(Some(values))
+                }
+                PointOutcome::Invisible {
+                    base_rid,
+                    deleted: true,
+                } => {
+                    txn.track_read(ReadSetEntry {
+                        table_id: self.id,
+                        base_rid,
+                        version_rid: 0,
+                        speculative: false,
+                    });
+                    Ok(None)
+                }
+                PointOutcome::Invisible { deleted: false, .. } => Ok(None),
+                PointOutcome::Missing => Err(Error::KeyNotFound(key)),
+            })
+            .collect()
+    }
+
     /// Detached snapshot read of `key` as of timestamp `ts` (time travel)
     /// — a thin adapter over [`Table::read_one`] with an as-of
     /// [`crate::request::ReadRequest`]. The batched variant is
@@ -779,17 +865,107 @@ impl Table {
         let range = self.range(base_rid.range());
         let base = range.base();
         let reader = self.reader(&range, &base);
+        Self::entry_still_visible(&reader, entry, txn_id)
+    }
+
+    /// The shared validation kernel: re-resolve `entry`'s base record with
+    /// own writes excluded and compare against the observed version. Both
+    /// the per-entry hook and the batched validator come through here, so
+    /// sequential and batched validation cannot drift apart semantically.
+    fn entry_still_visible(reader: &VersionReader<'_>, entry: &ReadSetEntry, txn_id: u64) -> bool {
         let mode = ReadMode {
             as_of: None,
             txn_id,
             speculative: entry.speculative,
             exclude_own: true,
         };
-        match reader.read_record(base_rid.slot(), &[0], mode) {
+        match reader.read_record(Rid(entry.base_rid).slot(), &[0], mode) {
             Resolved::Visible { version_rid, .. } => version_rid.0 == entry.version_rid,
             Resolved::Deleted => entry.version_rid == 0,
             Resolved::NotVisible => false,
         }
+    }
+
+    /// Batched §5.1.1 validate-reads over this table's slice of a commit's
+    /// read set: `entries` carries `(read-set position, entry)` pairs.
+    /// Returns the **lowest-position** failing entry as `(position, base
+    /// RID)` — the same entry a sequential front-to-back loop would trip
+    /// on first — or `None` when every entry validates.
+    ///
+    /// Mirrors the batched point-read planner: small slices (or
+    /// `pool_threads = 1`) validate sequentially on the caller; larger
+    /// ones sort by (shard, base RID) — the read set already carries
+    /// resolved base RIDs, so unlike `multi_read_outcomes` no index probe
+    /// is needed — cut into units no smaller than `4 × batch_read_min`,
+    /// and fan out over the unified task pool with the committing thread
+    /// participating, each worker reusing per-range base snapshots across
+    /// the sorted run.
+    pub(crate) fn validate_reads_batch(
+        &self,
+        entries: &[(usize, ReadSetEntry)],
+        txn_id: u64,
+    ) -> Option<(usize, u64)> {
+        let width = self.runtime.scan_width();
+        if entries.len() < self.runtime.batch_read_min() || width <= 1 {
+            return entries
+                .iter()
+                .find(|(_, e)| !self.validate_read(e, txn_id))
+                .map(|&(pos, e)| (pos, e.base_rid));
+        }
+
+        // One (shard, base RID) sort buys shard grouping and range
+        // locality, exactly like the read planner's (shard, key) sort.
+        let mut sorted: Vec<(u32, usize, ReadSetEntry)> = entries
+            .iter()
+            .map(|&(pos, e)| (self.range(Rid(e.base_rid).range()).shard, pos, e))
+            .collect();
+        sorted.sort_unstable_by_key(|&(shard, _, e)| (shard, e.base_rid));
+
+        // Same floor-gated cuts as `multi_read_outcomes`: shard purity is a
+        // locality preference, and a unit handed to a worker must be worth
+        // the wakeup.
+        let min_unit = self.runtime.batch_read_min() * 4;
+        let target = sorted.len().div_ceil(width).max(min_unit);
+        let mut units: Vec<(usize, usize)> = Vec::new();
+        let mut start = 0;
+        for i in 1..=sorted.len() {
+            let cut = i == sorted.len()
+                || (i - start >= min_unit
+                    && (sorted[i].0 != sorted[i - 1].0
+                        || (i - start >= target
+                            && sorted[i].2.base_rid != sorted[i - 1].2.base_rid)));
+            if cut {
+                units.push((start, i));
+                start = i;
+            }
+        }
+
+        let guard = self.runtime.epoch.pin();
+        let sorted = &sorted;
+        let partials = self.scan_fanout(&units, &guard, |chunk| {
+            let mut worst: Option<(usize, u64)> = None;
+            let mut cache: Option<(u32, Arc<UpdateRange>, Arc<crate::range::BaseVersion>)> = None;
+            for &(lo, hi) in chunk {
+                for &(_, pos, entry) in &sorted[lo..hi] {
+                    let rid = Rid(entry.base_rid);
+                    let hit = matches!(&cache, Some((r, _, _)) if *r == rid.range());
+                    if !hit {
+                        let r = self.range(rid.range());
+                        let b = r.base();
+                        cache = Some((rid.range(), r, b));
+                    }
+                    let (_, range, base) = cache.as_ref().expect("cache just filled");
+                    let reader = self.reader(range, base);
+                    if !Self::entry_still_visible(&reader, &entry, txn_id)
+                        && worst.is_none_or(|(p, _)| pos < p)
+                    {
+                        worst = Some((pos, entry.base_rid));
+                    }
+                }
+            }
+            worst
+        });
+        partials.into_iter().flatten().min_by_key(|&(pos, _)| pos)
     }
 
     // ------------------------------------------------------------------

@@ -26,7 +26,7 @@ pub mod txn;
 
 pub use clock::GlobalClock;
 pub use manager::{TxnManager, TxnStatus};
-pub use txn::{IsolationLevel, ReadSetEntry, Transaction};
+pub use txn::{IsolationLevel, ReadSetEntry, Transaction, WriteSetEntry};
 
 /// Bit flagging a `u64` as a transaction id rather than a wall-clock
 /// timestamp (§5.1.1: "The Start Time column may also hold transaction ID").

@@ -25,10 +25,21 @@ fn error_strategy() -> impl Strategy<Value = Error> {
             .prop_map(|(column, columns)| Error::ColumnOutOfRange { column, columns }),
         1 => (0usize..1 << 20).prop_map(Error::TooManyColumns),
         1 => (0u64..1).prop_map(|_| Error::TxnNotActive),
+        1 => (0u64..1).prop_map(|_| Error::TxnFinalized),
         1 => (0u64..1).prop_map(|_| Error::Overloaded),
         1 => (0u64..1).prop_map(|_| Error::RequestTimeout),
         2 => any_text().prop_map(Error::Protocol),
-        2 => (0u16..200u16, any_text()).prop_map(|(code, detail)| Error::Remote { code, detail }),
+        // `Remote` only ever arises from codes the decoder does not know;
+        // remap structured codes out of the way so the generator cannot
+        // produce an unreachable `Remote { code: <structured> }` state.
+        2 => (0u16..200u16, any_text()).prop_map(|(code, detail)| Error::Remote {
+            code: if matches!(code, 1..=8 | 11..=14) {
+                code + 200
+            } else {
+                code
+            },
+            detail,
+        }),
     ]
 }
 
@@ -86,6 +97,7 @@ fn known_codes_never_drift() {
         (11, Error::Overloaded),
         (12, Error::RequestTimeout),
         (13, Error::Protocol(String::new())),
+        (14, Error::TxnFinalized),
     ];
     for (code, err) in expect {
         assert_eq!(err.code(), *code, "{err:?}");

@@ -182,3 +182,44 @@ fn same_record_updated_twice_in_one_txn() {
     // "only the final update becomes visible".
     assert_eq!(t.read_latest_auto(8).unwrap(), vec![2, 3]);
 }
+
+#[test]
+fn double_commit_returns_txn_finalized() {
+    let (db, t) = setup();
+    let mut txn = db.begin();
+    t.update(&mut txn, 30, &[(0, 77)]).unwrap();
+    db.commit(&mut txn).unwrap();
+    // A second commit must return the stable-coded error, not re-enter the
+    // §5.1.1 state machine (which would panic on the Committed entry).
+    let err = db.commit(&mut txn).unwrap_err();
+    assert!(matches!(err, lstore::Error::TxnFinalized), "{err:?}");
+    // The committed write is untouched by the failed retry.
+    assert_eq!(t.read_latest_auto(30).unwrap()[0], 77);
+}
+
+#[test]
+fn commit_after_abort_returns_txn_finalized() {
+    let (db, t) = setup();
+    let mut txn = db.begin();
+    t.update(&mut txn, 31, &[(0, 88)]).unwrap();
+    db.abort(&mut txn);
+    let err = db.commit(&mut txn).unwrap_err();
+    assert!(matches!(err, lstore::Error::TxnFinalized), "{err:?}");
+    // The abort stands: the write stays a tombstone.
+    assert_eq!(t.read_latest_auto(31).unwrap()[0], 310);
+}
+
+#[test]
+fn abort_after_commit_is_a_noop() {
+    let (db, t) = setup();
+    let mut txn = db.begin();
+    t.update(&mut txn, 32, &[(0, 99)]).unwrap();
+    db.commit(&mut txn).unwrap();
+    // Aborting a committed transaction must not flip its entry to Aborted
+    // (which would retroactively tombstone the committed version).
+    db.abort(&mut txn);
+    assert_eq!(t.read_latest_auto(32).unwrap()[0], 99);
+    // Double abort is equally inert.
+    db.abort(&mut txn);
+    assert_eq!(t.read_latest_auto(32).unwrap()[0], 99);
+}

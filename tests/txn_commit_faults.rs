@@ -1,0 +1,106 @@
+//! Commit-path fault handling: every way a commit can fail must leave the
+//! transaction cleanly aborted — in the §5.1.1 state machine *and* in the
+//! WAL, so crash recovery classifies it instead of finding it unresolved —
+//! and the transaction handle must be finalized (no second commit, no
+//! state-machine re-entry).
+
+use std::path::PathBuf;
+
+use lstore::{Database, DbConfig, Error, IsolationLevel, TableConfig};
+
+fn wal_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("lstore-commit-fault-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}.wal", std::process::id()))
+}
+
+/// A validation failure aborts through the WAL-writing abort path: the log
+/// must contain an Abort record for the transaction, so replay after a
+/// crash tombstones it instead of leaving it unresolved. (The pre-fix
+/// commit called the manager's abort directly and never logged the
+/// record.)
+#[test]
+fn failed_validation_logs_abort_record() {
+    let path = wal_path("validation-abort");
+    std::fs::remove_file(&path).ok();
+    let reader_id;
+    {
+        let db = Database::new(DbConfig::deterministic().with_wal_path(path.clone()));
+        let t = db.create_table("f", &["a"], TableConfig::small()).unwrap();
+        for k in 0..10 {
+            t.insert_auto(k, &[k]).unwrap();
+        }
+        let mut reader = db.begin_with(IsolationLevel::RepeatableRead);
+        assert_eq!(t.read(&mut reader, 3, &[0]).unwrap().unwrap(), vec![3]);
+        reader_id = reader.id;
+        // A conflicting committed writer invalidates the read.
+        t.update_auto(3, &[(0, 99)]).unwrap();
+        let err = db.commit(&mut reader).unwrap_err();
+        assert!(matches!(err, Error::ValidationFailed { .. }), "{err:?}");
+        db.runtime().wal.as_ref().unwrap().sync().unwrap();
+        // db dropped here = crash: no clean-shutdown reconciliation runs.
+    }
+    let state = lstore_wal::recover(&path).unwrap();
+    assert!(
+        state.aborted.contains(&reader_id),
+        "recovery must classify the validation-failed transaction as aborted, \
+         not unresolved (aborted set: {:?})",
+        state.aborted
+    );
+    assert!(!state.committed.contains_key(&reader_id));
+    std::fs::remove_file(&path).ok();
+}
+
+/// A WAL error while logging the commit record must abort the transaction
+/// and propagate the error — not leave it in pre-commit limbo (commit
+/// timestamp stamped, speculative readers building on it, recovery
+/// undecided). `/dev/full` makes every flush fail with `ENOSPC`, which
+/// surfaces exactly at the commit record (statement records are buffered).
+#[test]
+fn wal_commit_failure_aborts_txn() {
+    if !std::path::Path::new("/dev/full").exists() {
+        eprintln!("skipping: /dev/full not available on this platform");
+        return;
+    }
+    let db = Database::new(DbConfig::deterministic().with_wal_path(PathBuf::from("/dev/full")));
+    let t = db.create_table("w", &["a"], TableConfig::small()).unwrap();
+    let mut txn = db.begin();
+    t.insert(&mut txn, 1, &[10]).unwrap();
+    let err = db.commit(&mut txn).unwrap_err();
+    assert!(
+        matches!(err, Error::Wal(_) | Error::Storage(_)),
+        "commit over a full device must surface the WAL error, got {err:?}"
+    );
+    // The transaction aborted: its insert is unhooked, not in limbo.
+    assert!(matches!(
+        t.read_latest_auto(1).unwrap_err(),
+        Error::KeyNotFound(1)
+    ));
+    // And the handle is finalized — a retry is a fresh transaction.
+    assert!(matches!(
+        db.commit(&mut txn).unwrap_err(),
+        Error::TxnFinalized
+    ));
+}
+
+/// Repeated WAL commit failures must not wedge the engine: every attempt
+/// aborts cleanly (no state-machine re-entry, no pinned pre-commit
+/// entries), and each aborted insert stays invisible.
+#[test]
+fn wal_commit_failures_do_not_wedge_the_database() {
+    if !std::path::Path::new("/dev/full").exists() {
+        eprintln!("skipping: /dev/full not available on this platform");
+        return;
+    }
+    let db = Database::new(DbConfig::deterministic().with_wal_path(PathBuf::from("/dev/full")));
+    let t = db.create_table("u", &["a"], TableConfig::small()).unwrap();
+    for k in 0..10 {
+        let mut txn = db.begin();
+        t.insert(&mut txn, k, &[k * 10]).unwrap();
+        assert!(db.commit(&mut txn).is_err());
+        assert!(
+            matches!(t.read_latest_auto(k).unwrap_err(), Error::KeyNotFound(_)),
+            "aborted insert of key {k} must stay invisible"
+        );
+    }
+}
