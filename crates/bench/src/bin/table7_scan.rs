@@ -4,13 +4,15 @@
 //! unified task pool of each swept width.
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use lstore::{DbConfig, TableConfig};
+use lstore::{Database, DbConfig, TableConfig};
 use lstore_baselines::{DbmEngine, Engine, IuhEngine, LStoreEngine};
-use lstore_bench::report::{self, secs, speedup};
+use lstore_bench::report::{self, secs, secs_fine, speedup};
 use lstore_bench::setup;
 use lstore_bench::workload::Contention;
 use lstore_bench::{run_scan_while_updating, scan_thread_axis};
+use lstore_storage::compress::CodecChoice;
 
 fn main() {
     let config = setup::workload(Contention::Low);
@@ -74,4 +76,74 @@ fn main() {
             &[(&format!("x{wmax} vs x{}", axis[0].0), speedup(seq, par))],
         );
     }
+
+    // The codec axis: compressed-columnar kernel execution vs the per-row
+    // decode path, per base-page codec (BENCH_CODEC). The table is loaded
+    // with run-structured values (64-long runs, 16 distinct values — the
+    // shape dictionary and run-length coding exist for), merged, and left
+    // quiescent, so the two cells isolate the aggregation path itself:
+    // `kernel` sums runs/packed words/code frequencies in place
+    // (scan_kernels on), `decode` materializes every row (scan_kernels
+    // off). The plain-number kernel_vs_decode ratio is the gated dividend —
+    // it collapsing toward 1.0 means kernels silently stopped engaging.
+    report::header(
+        "Table 7 (codec)",
+        &format!(
+            "SUM over one quiesced column, kernel vs per-row decode; rows={}",
+            config.rows
+        ),
+    );
+    let iters = setup::scan_iters();
+    for (name, choice) in setup::codec_sweep() {
+        let kernel = time_codec_scan(config.rows, choice, true, iters);
+        let decode = time_codec_scan(config.rows, choice, false, iters);
+        report::row(
+            &format!("codec={name}"),
+            &[
+                ("kernel", secs_fine(kernel)),
+                ("decode", secs_fine(decode)),
+                (
+                    "kernel_vs_decode",
+                    if kernel > 0.0 {
+                        format!("{:.2}", decode / kernel)
+                    } else {
+                        "inf".into()
+                    },
+                ),
+            ],
+        );
+    }
+}
+
+/// Average seconds per full-column `sum_as_of` over a freshly built,
+/// merged, update-free table whose base pages use `codec`, with kernel
+/// execution toggled by `kernels`.
+fn time_codec_scan(rows: u64, codec: CodecChoice, kernels: bool, iters: usize) -> f64 {
+    let db = Database::new(
+        DbConfig::new()
+            .with_pool_threads(1)
+            .with_shards(1)
+            .with_scan_kernels(kernels),
+    );
+    let t = db
+        .create_table(
+            "codec",
+            &["v"],
+            TableConfig::default()
+                .with_codec(codec)
+                .with_range_size(4096),
+        )
+        .expect("create codec table");
+    for k in 0..rows {
+        t.insert_auto(k, &[(k / 64) % 16]).expect("load row");
+    }
+    t.merge_all();
+    let ts = t.now();
+    // Warm-up pass doubles as a correctness pin: both paths must agree.
+    let expected = t.sum_as_of(0, ts);
+    let start = Instant::now();
+    for _ in 0..iters {
+        assert_eq!(std::hint::black_box(t.sum_as_of(0, ts)), expected);
+    }
+    start.elapsed().as_secs_f64() / iters as f64
 }

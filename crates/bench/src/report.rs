@@ -109,6 +109,14 @@ pub fn secs(v: f64) -> String {
     format!("{v:.4}s")
 }
 
+/// Format seconds at full micro-scale precision. Kernel-path scans over
+/// smoke-sized tables finish in microseconds; at [`secs`]'s four decimals
+/// they round to `0.0000s`, which `compare_baseline` refuses as a
+/// degenerate baseline cell.
+pub fn secs_fine(v: f64) -> String {
+    format!("{v:.7}s")
+}
+
 /// Format a speedup factor.
 pub fn speedup(a: f64, b: f64) -> String {
     if b > 0.0 {

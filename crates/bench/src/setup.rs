@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use lstore::{DbConfig, Durability, TableConfig};
 use lstore_baselines::{DbmEngine, Engine, IuhEngine, LStoreEngine};
+use lstore_storage::compress::CodecChoice;
 
 use crate::workload::{Contention, WorkloadConfig};
 
@@ -152,6 +153,30 @@ pub fn durability_sweep() -> Vec<(&'static str, Durability)> {
             "none" => Some(("none", Durability::None)),
             "wal" => Some(("wal", Durability::Wal)),
             "group" => Some(("group", Durability::group_commit())),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Base-page codec policies to sweep in the Table 7 codec axis (env
+/// `BENCH_CODEC`, comma-separated among `plain`, `rle`, `dict`, `for`,
+/// `auto`; default `plain,rle,dict,auto` — FOR is off by default because
+/// on the axis's run-structured values `encode_auto` never picks it, so
+/// the default sweep mirrors what a real table would hold). Unknown names
+/// are dropped.
+pub fn codec_sweep() -> Vec<(&'static str, CodecChoice)> {
+    let requested = std::env::var("BENCH_CODEC")
+        .ok()
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "plain,rle,dict,auto".into());
+    requested
+        .split(',')
+        .filter_map(|t| match t.trim() {
+            "plain" | "none" => Some(("plain", CodecChoice::None)),
+            "rle" => Some(("rle", CodecChoice::Rle)),
+            "dict" => Some(("dict", CodecChoice::Dictionary)),
+            "for" => Some(("for", CodecChoice::ForPack)),
+            "auto" => Some(("auto", CodecChoice::Auto)),
             _ => None,
         })
         .collect()

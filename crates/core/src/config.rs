@@ -171,6 +171,13 @@ pub struct DbConfig {
     /// like `pool_threads`: results are identical on both sides of the
     /// threshold.
     pub batch_read_min: usize,
+    /// Execute scan aggregates with per-codec compressed-column kernels
+    /// (run arithmetic for RLE, block sums for FOR/bit-packing, code
+    /// frequencies for dictionaries) instead of decoding each row. On by
+    /// default; results are byte-identical either way (the
+    /// `kernel_equivalence` property suite pins this) — the switch exists
+    /// so benchmarks can measure the kernel dividend on identical data.
+    pub scan_kernels: bool,
 }
 
 impl Default for DbConfig {
@@ -198,6 +205,7 @@ impl DbConfig {
             pool_threads: cores,
             shards: cores,
             batch_read_min: DbConfig::DEFAULT_BATCH_READ_MIN,
+            scan_kernels: true,
         }
     }
 
@@ -213,6 +221,7 @@ impl DbConfig {
             pool_threads: 1,
             shards: 1,
             batch_read_min: DbConfig::DEFAULT_BATCH_READ_MIN,
+            scan_kernels: true,
         }
     }
 
@@ -265,6 +274,14 @@ impl DbConfig {
         self.batch_read_min = batch_read_min.max(2);
         self
     }
+
+    /// Enable/disable compressed-column scan kernels (on by default; the
+    /// off position is the decode-then-aggregate baseline benchmarks
+    /// compare against).
+    pub fn with_scan_kernels(mut self, on: bool) -> Self {
+        self.scan_kernels = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +323,13 @@ mod tests {
             .with_wal_path("/tmp/x.wal".into());
         assert_eq!(config.wal_path, Some(PathBuf::from("/tmp/x.wal")));
         assert_eq!(config.durability, Durability::group_commit());
+    }
+
+    #[test]
+    fn scan_kernels_default_on_and_toggle() {
+        assert!(DbConfig::new().scan_kernels);
+        assert!(DbConfig::deterministic().scan_kernels);
+        assert!(!DbConfig::new().with_scan_kernels(false).scan_kernels);
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub struct Runtime {
     /// Minimum batch size before `multi_read_*` fans out across the pool
     /// (`DbConfig::batch_read_min`).
     batch_read_min: usize,
+    /// Whether scans aggregate through compressed-column kernels
+    /// (`DbConfig::scan_kernels`).
+    scan_kernels: bool,
     /// The unified merge/scan worker pool, spawned lazily on the first
     /// parallel scan or merge enqueue so purely transactional databases
     /// with merging disabled never pay for idle threads.
@@ -138,6 +141,12 @@ impl Runtime {
         self.batch_read_min
     }
 
+    /// Whether scan aggregates may run per-codec compressed-column kernels
+    /// (false = the decode-then-aggregate baseline).
+    pub(crate) fn scan_kernels(&self) -> bool {
+        self.scan_kernels
+    }
+
     /// Block until every queued merge job has executed.
     pub(crate) fn drain_merges(&self) {
         if let Some(Some(pool)) = self.pool.get() {
@@ -219,6 +228,7 @@ impl Database {
             background_merge: config.background_merge,
             shards: config.shards.max(1),
             batch_read_min: config.batch_read_min.max(2),
+            scan_kernels: config.scan_kernels,
             pool: OnceLock::new(),
             merge_tables: RwLock::new(Vec::new()),
             stopped: AtomicBool::new(false),

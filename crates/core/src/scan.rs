@@ -8,6 +8,17 @@
 //! once, and reads each slot through the TPS fast path, falling back to the
 //! version chain only for records whose updates outrun the merge.
 //!
+//! Aggregation over merged ranges executes *on the compressed pages*: per
+//! range the scan builds a row-visibility mask (one indirection load per
+//! slot, or none at all when the range-level lineage proves every slot
+//! clean), hands the clean rows to the page codec's
+//! [`lstore_storage::compress::ColumnKernel`] — run arithmetic for RLE,
+//! word-walk block sums for FOR/bit-packing, code frequencies for
+//! dictionaries — and chain-resolves only the masked holes. Masked-dense
+//! windows (more than ~1/4 holes) fall back to the per-slot walk, and
+//! `DbConfig::scan_kernels = false` pins the decode-then-aggregate
+//! baseline for benchmarking. Results are byte-identical on every path.
+//!
 //! Every analytical entry point fans its per-range work out across the
 //! unified merge/scan task pool ([`crate::pool::TaskPool`], sized by
 //! `DbConfig::pool_threads`): ranges partition the table into disjoint
@@ -33,22 +44,41 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use lstore_storage::compress::{Compressed, RowMask};
+use lstore_storage::page::BasePage;
+use lstore_storage::NULL_VALUE;
+
 use crate::range::{BaseData, BaseVersion, UpdateRange};
 use crate::read::{ReadMode, Resolved};
 use crate::rid::Rid;
+use crate::schema::SchemaEncoding;
 use crate::table::Table;
+
+/// Mask-density fallback threshold: once more than `1/DENSE_MASK_DENOM` of
+/// a kernel window is excluded, the encoded-sum-minus-holes arithmetic
+/// loses to plain per-slot resolution and the scan falls back to the chain
+/// walk (decode-then-aggregate) for the whole window.
+const DENSE_MASK_DENOM: usize = 4;
+
+/// Minimum coalesced slot-span length before `sum_key_range` tries the
+/// kernel path; shorter spans stay on per-key `read_column` (building a
+/// mask costs one atomic load per slot and must amortize).
+const KERNEL_SPAN_MIN: u32 = 16;
 
 /// Can the whole range be summed straight off its compressed base page?
 /// True when every slot's latest version for `col` is in the base page
 /// (tail fully merged), nothing is deleted, and every start/merge time is
 /// within the snapshot bound — the read-optimized path that makes L-Store
-/// scans behave like a column store (§2.1).
+/// scans behave like a column store (§2.1). With kernels enabled this is
+/// subsumed by the masked planner ([`Table::visibility_mask`] short-cuts
+/// to an empty mask under the same conditions); it survives as the
+/// whole-page shortcut of the kernels-off baseline.
 fn clean_range_page<'a>(
     range: &UpdateRange,
     base: &'a BaseVersion,
     col: usize,
     ts: u64,
-) -> Option<&'a lstore_storage::page::BasePage> {
+) -> Option<&'a BasePage> {
     if base.has_deletes
         || base.max_start == u64::MAX
         || base.max_start > ts
@@ -62,6 +92,107 @@ fn clean_range_page<'a>(
     match &base.data {
         BaseData::Pages { data, .. } => Some(&data[col]),
         BaseData::Insert(_) => None,
+    }
+}
+
+/// The merged data pages of a range, provided every base record's start
+/// time fits the snapshot (`max_start` tracks raw Start Time cells, so
+/// unresolved transaction ids — bit 63 set — disqualify the range exactly
+/// like they always disqualified [`clean_range_page`]).
+fn eligible_pages(base: &BaseVersion, ts: u64) -> Option<&[Arc<BasePage>]> {
+    if base.max_start == u64::MAX || base.max_start > ts {
+        return None;
+    }
+    match &base.data {
+        BaseData::Pages { data, .. } => Some(data),
+        BaseData::Insert(_) => None,
+    }
+}
+
+impl Table {
+    /// Build the row-visibility mask for kernel aggregation of `cols` over
+    /// slots `lo..hi` of one merged range. A row is *clean* (kept in the
+    /// mask) exactly when `read_column` would take its TPS fast path for
+    /// every requested column: no newer-than-TPS tail version, a merged
+    /// image no newer than the snapshot, and no delete marker. Every other
+    /// row is excluded — the kernel skips it and the caller resolves it
+    /// through the version chain. Returns `None` when kernels are disabled,
+    /// the range is ineligible, or the mask would be dense enough
+    /// (> 1/[`DENSE_MASK_DENOM`] of the window) that per-slot resolution
+    /// is cheaper than encoded-sum-minus-holes.
+    fn visibility_mask(
+        &self,
+        range: &UpdateRange,
+        base: &BaseVersion,
+        cols: &[usize],
+        ts: u64,
+        lo: u32,
+        hi: u32,
+    ) -> Option<RowMask> {
+        if !self.runtime.scan_kernels() {
+            return None;
+        }
+        eligible_pages(base, ts)?;
+        let mut mask = RowMask::new(base.len);
+        let min_tps = cols
+            .iter()
+            .map(|&c| base.column_tps[c])
+            .min()
+            .unwrap_or(base.tps);
+        let lu_clean = base.max_last_updated <= ts;
+        // Whole-window shortcut: nothing unmerged for these columns, all
+        // merged images inside the snapshot, no deletes — the empty mask,
+        // without touching a single indirection cell.
+        if !base.has_deletes && (range.tail.high_seq() as u64) <= min_tps && lu_clean {
+            return Some(mask);
+        }
+        for slot in lo..hi {
+            let head = range.indirection(slot);
+            let clean = if head.is_null() {
+                true
+            } else {
+                min_tps >= head.seq() as u64
+                    && (lu_clean || {
+                        let lu = base.last_updated(slot);
+                        lu == NULL_VALUE || lu <= ts
+                    })
+            };
+            if !clean || base.has_deletes && SchemaEncoding(base.schema_enc(slot)).is_delete() {
+                mask.exclude(slot as usize);
+            }
+        }
+        if mask.excluded() * DENSE_MASK_DENOM > (hi - lo) as usize {
+            return None; // masked-dense: decode-then-aggregate wins
+        }
+        Some(mask)
+    }
+
+    /// Kernel-sum `col` over slots `lo..hi` of one range: the codec kernel
+    /// aggregates the clean rows straight off the encoding, and each masked
+    /// hole resolves through the version chain at the same snapshot.
+    /// `None` = not eligible, caller takes the legacy path.
+    fn kernel_sum_window(
+        &self,
+        range: &UpdateRange,
+        base: &BaseVersion,
+        col: usize,
+        ts: u64,
+        lo: u32,
+        hi: u32,
+    ) -> Option<u64> {
+        let mask = self.visibility_mask(range, base, &[col], ts, lo, hi)?;
+        let pages = eligible_pages(base, ts).expect("mask implies eligible pages");
+        let mut sum = pages[col].sum_range_masked(lo as usize, hi as usize, &mask);
+        if !mask.all_visible() {
+            let reader = self.reader(range, base);
+            let mode = ReadMode::as_of(ts);
+            for slot in mask.iter_excluded(lo as usize, hi as usize) {
+                if let Some(v) = reader.read_column(slot as u32, col, mode) {
+                    sum = sum.wrapping_add(v);
+                }
+            }
+        }
+        Some(sum)
     }
 }
 
@@ -85,18 +216,28 @@ impl Table {
     }
 
     /// Sequential partial SUM over one chunk of shard partitions (one
-    /// worker's share).
+    /// worker's share). Each range picks the codec kernel of its own base
+    /// page (pages merged under different codec policies coexist); ranges
+    /// the planner rejects — insert phase, snapshot-straddling merges,
+    /// masked-dense — take the per-slot chain walk.
     fn sum_ranges(&self, parts: &[Vec<Arc<UpdateRange>>], col: usize, ts: u64) -> u64 {
         let mode = ReadMode::as_of(ts);
         let mut sum = 0u64;
         for range in parts.iter().flatten() {
             let base = range.base();
-            if let Some(page) = clean_range_page(range, &base, col, ts) {
-                sum = sum.wrapping_add(page.sum());
+            let slots = self.occupied_slots(range, &base);
+            if let Some(s) = self.kernel_sum_window(range, &base, col, ts, 0, slots) {
+                sum = sum.wrapping_add(s);
                 continue;
             }
+            // Kernels-off baseline: whole-page decode-then-sum when clean.
+            if !self.runtime.scan_kernels() {
+                if let Some(page) = clean_range_page(range, &base, col, ts) {
+                    sum = sum.wrapping_add(page.sum_range_decoded(0, page.len()));
+                    continue;
+                }
+            }
             let reader = self.reader(range, &base);
-            let slots = self.occupied_slots(range, &base);
             for slot in 0..slots {
                 if let Some(v) = reader.read_column(slot, col, mode) {
                     sum = sum.wrapping_add(v);
@@ -138,12 +279,21 @@ impl Table {
         let mut sums = vec![0u64; cols.len()];
         for range in parts.iter().flatten() {
             let base = range.base();
-            // Split the columns of this range into page-summable and
+            // Split the columns of this range into kernel-summable and
             // chain-resolved; a single slot walk covers all of the latter.
+            // Masks are per column (per-column TPS means one column can be
+            // fully merged while another still has unmerged tail versions).
+            let slots = self.occupied_slots(range, &base);
             let mut chain_cols: Vec<(usize, usize)> = Vec::new(); // (output, col)
             for (out, &col) in cols.iter().enumerate() {
-                if let Some(page) = clean_range_page(range, &base, col, ts) {
-                    sums[out] = sums[out].wrapping_add(page.sum());
+                if let Some(s) = self.kernel_sum_window(range, &base, col, ts, 0, slots) {
+                    sums[out] = sums[out].wrapping_add(s);
+                } else if !self.runtime.scan_kernels() {
+                    if let Some(page) = clean_range_page(range, &base, col, ts) {
+                        sums[out] = sums[out].wrapping_add(page.sum_range_decoded(0, page.len()));
+                    } else {
+                        chain_cols.push((out, col));
+                    }
                 } else {
                     chain_cols.push((out, col));
                 }
@@ -153,7 +303,6 @@ impl Table {
             }
             let request: Vec<usize> = chain_cols.iter().map(|&(_, c)| c).collect();
             let reader = self.reader(range, &base);
-            let slots = self.occupied_slots(range, &base);
             for slot in 0..slots {
                 if let Resolved::Visible { values, .. } = reader.read_record(slot, &request, mode) {
                     for ((out, _), v) in chain_cols.iter().zip(values) {
@@ -204,8 +353,11 @@ impl Table {
         let mut groups: BTreeMap<u64, u64> = BTreeMap::new();
         for range in parts.iter().flatten() {
             let base = range.base();
-            let reader = self.reader(range, &base);
             let slots = self.occupied_slots(range, &base);
+            if self.kernel_group_window(range, &base, (gcol, vcol), ts, slots, &mut groups) {
+                continue;
+            }
+            let reader = self.reader(range, &base);
             for slot in 0..slots {
                 if let Resolved::Visible { values, .. } = reader.read_record(slot, &request, mode) {
                     let slot = groups.entry(values[0]).or_insert(0);
@@ -214,6 +366,67 @@ impl Table {
             }
         }
         groups
+    }
+
+    /// Kernel GROUP BY/SUM over one merged range, accumulating into
+    /// `groups`. The mask is built jointly over both columns (a row is
+    /// clean only when *both* its group and value cells are current). When
+    /// the group column is run-length encoded the accumulation is
+    /// run-granular: each run contributes one masked value-kernel sum to
+    /// its group — no per-row group decoding at all. Other group codecs
+    /// pair O(1) random access on clean rows, which still skips the whole
+    /// version-resolution machinery. Holes resolve through the chain.
+    /// False = not eligible, caller takes the record-walk path.
+    fn kernel_group_window(
+        &self,
+        range: &UpdateRange,
+        base: &BaseVersion,
+        (gcol, vcol): (usize, usize),
+        ts: u64,
+        slots: u32,
+        groups: &mut BTreeMap<u64, u64>,
+    ) -> bool {
+        let Some(mask) = self.visibility_mask(range, base, &[gcol, vcol], ts, 0, slots) else {
+            return false;
+        };
+        let pages = eligible_pages(base, ts).expect("mask implies eligible pages");
+        let (gpage, vpage) = (&pages[gcol], &pages[vcol]);
+        match gpage.compressed() {
+            Compressed::Rle(runs) => {
+                for (start, end, gval) in runs.runs_in(0, slots as usize) {
+                    let visible = (end - start) - mask.excluded_in(start, end);
+                    if visible == 0 {
+                        continue; // no visible row: the group must not appear
+                    }
+                    let partial = vpage.sum_range_masked(start, end, &mask);
+                    let entry = groups.entry(gval).or_insert(0);
+                    *entry = entry.wrapping_add(partial);
+                }
+            }
+            _ => {
+                for slot in 0..slots as usize {
+                    if mask.is_excluded(slot) {
+                        continue;
+                    }
+                    let entry = groups.entry(gpage.get(slot)).or_insert(0);
+                    *entry = entry.wrapping_add(vpage.get(slot));
+                }
+            }
+        }
+        if !mask.all_visible() {
+            let reader = self.reader(range, base);
+            let mode = ReadMode::as_of(ts);
+            let request = [gcol, vcol];
+            for slot in mask.iter_excluded(0, slots as usize) {
+                if let Resolved::Visible { values, .. } =
+                    reader.read_record(slot as u32, &request, mode)
+                {
+                    let entry = groups.entry(values[0]).or_insert(0);
+                    *entry = entry.wrapping_add(values[1]);
+                }
+            }
+        }
+        true
     }
 
     /// SUM over a value column at the current snapshot.
@@ -231,7 +444,6 @@ impl Table {
         }
         let col = user_col + 1;
         let guard = self.runtime.epoch.pin();
-        let mode = ReadMode::as_of(ts);
         // One sub-interval per configured width; saturating, so a
         // full-domain interval still partitions correctly (the loop is
         // bounded by `key_hi`, not by span).
@@ -250,15 +462,21 @@ impl Table {
         }
         self.scan_fanout(&bounds, &guard, |chunk| {
             chunk.iter().fold(0u64, |acc, &(lo, hi)| {
-                acc.wrapping_add(self.sum_keys(col, lo, hi, mode))
+                acc.wrapping_add(self.sum_keys(col, lo, hi, ts))
             })
         })
         .into_iter()
         .fold(0u64, u64::wrapping_add)
     }
 
-    /// Sequential keyed partial SUM over `[key_lo, key_hi]`.
-    fn sum_keys(&self, col: usize, key_lo: u64, key_hi: u64, mode: ReadMode) -> u64 {
+    /// Sequential keyed partial SUM over `[key_lo, key_hi]`. Consecutive
+    /// keys that resolve to consecutive slots of one range coalesce into a
+    /// slot span; spans of at least [`KERNEL_SPAN_MIN`] slots aggregate
+    /// through the codec kernel ([`Table::kernel_sum_window`]) instead of
+    /// per-key version resolution — on merged, densely keyed data a 10%
+    /// partial scan becomes a handful of masked kernel sums.
+    fn sum_keys(&self, col: usize, key_lo: u64, key_hi: u64, ts: u64) -> u64 {
+        let mode = ReadMode::as_of(ts);
         let mut sum = 0u64;
         // Keys are usually clustered per range; reuse the last (range, base)
         // snapshot across consecutive keys instead of re-resolving it.
@@ -268,23 +486,41 @@ impl Table {
             std::sync::Arc<crate::range::BaseVersion>,
         );
         let mut cache: Option<Cached> = None;
+        // Open slot span within the cached range: [span_lo, span_hi).
+        let mut span = (0u32, 0u32);
+        let flush = |cache: &Option<Cached>, span: (u32, u32)| -> u64 {
+            let Some((_, range, base)) = cache else {
+                return 0;
+            };
+            let (lo, hi) = span;
+            if hi - lo >= KERNEL_SPAN_MIN {
+                if let Some(s) = self.kernel_sum_window(range, base, col, ts, lo, hi) {
+                    return s;
+                }
+            }
+            let reader = self.reader(range, base);
+            (lo..hi)
+                .filter_map(|slot| reader.read_column(slot, col, mode))
+                .fold(0u64, u64::wrapping_add)
+        };
         for key in key_lo..=key_hi {
             let Ok(base_rid) = self.locate(key) else {
                 continue;
             };
             let hit = matches!(&cache, Some((rid, _, _)) if *rid == base_rid.range());
+            if hit && base_rid.slot() == span.1 {
+                span.1 += 1; // extend the open span
+                continue;
+            }
+            sum = sum.wrapping_add(flush(&cache, span));
             if !hit {
                 let r = self.range(base_rid.range());
                 let b = r.base();
                 cache = Some((base_rid.range(), r, b));
             }
-            let (_, range, base) = cache.as_ref().expect("cache just filled");
-            let reader = self.reader(range, base);
-            if let Some(v) = reader.read_column(base_rid.slot(), col, mode) {
-                sum = sum.wrapping_add(v);
-            }
+            span = (base_rid.slot(), base_rid.slot() + 1);
         }
-        sum
+        sum.wrapping_add(flush(&cache, span))
     }
 
     /// RID-ordered partial scan: SUM `user_col` over `count` consecutive
@@ -325,22 +561,29 @@ impl Table {
             .fold(0u64, u64::wrapping_add)
     }
 
-    /// Partial SUM over one chunk of per-range sub-spans.
+    /// Partial SUM over one chunk of per-range sub-spans. The kernel path
+    /// handles *sub*-range windows natively (`sum_range` over `lo..hi`), so
+    /// unlike the pre-kernel whole-page shortcut it applies to spans that
+    /// start or end mid-range.
     fn sum_spans(&self, spans: &[(Arc<UpdateRange>, u32, u64)], col: usize, ts: u64) -> u64 {
         let mode = ReadMode::as_of(ts);
         let mut sum = 0u64;
         for (range, first, take) in spans {
             let base = range.base();
             let slots = self.occupied_slots(range, &base);
-            // Whole-range coverage: sum the compressed page directly.
-            if *first == 0 && *take >= slots as u64 {
+            let end = ((*first as u64 + take).min(slots as u64)) as u32;
+            if let Some(s) = self.kernel_sum_window(range, &base, col, ts, *first, end) {
+                sum = sum.wrapping_add(s);
+                continue;
+            }
+            // Kernels-off baseline: whole-range coverage sums the page.
+            if !self.runtime.scan_kernels() && *first == 0 && *take >= slots as u64 {
                 if let Some(page) = clean_range_page(range, &base, col, ts) {
-                    sum = sum.wrapping_add(page.sum());
+                    sum = sum.wrapping_add(page.sum_range_decoded(0, page.len()));
                     continue;
                 }
             }
             let reader = self.reader(range, &base);
-            let end = ((*first as u64 + take).min(slots as u64)) as u32;
             for slot in *first..end {
                 if let Some(v) = reader.read_column(slot, col, mode) {
                     sum = sum.wrapping_add(v);
@@ -360,13 +603,30 @@ impl Table {
     }
 
     /// Partial visible-record count over one chunk of shard partitions.
+    /// The kernel path needs *only* the visibility mask — clean rows count
+    /// without touching any page payload at all; only the masked holes run
+    /// version resolution to decide whether a newer visible version exists.
     fn count_ranges(&self, parts: &[Vec<Arc<UpdateRange>>], ts: u64) -> u64 {
         let mode = ReadMode::as_of(ts);
         let mut n = 0u64;
         for range in parts.iter().flatten() {
             let base = range.base();
-            let reader = self.reader(range, &base);
             let slots = self.occupied_slots(range, &base);
+            // Visibility is governed by the key column (column 0), exactly
+            // like the per-slot loop below.
+            if let Some(mask) = self.visibility_mask(range, &base, &[0], ts, 0, slots) {
+                n += slots as u64 - mask.excluded() as u64;
+                if !mask.all_visible() {
+                    let reader = self.reader(range, &base);
+                    for slot in mask.iter_excluded(0, slots as usize) {
+                        if reader.read_column(slot as u32, 0, mode).is_some() {
+                            n += 1;
+                        }
+                    }
+                }
+                continue;
+            }
+            let reader = self.reader(range, &base);
             for slot in 0..slots {
                 if reader.read_column(slot, 0, mode).is_some() {
                     n += 1;

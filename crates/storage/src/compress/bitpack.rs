@@ -3,6 +3,23 @@
 //! The building block shared by the dictionary and frame-of-reference codecs:
 //! `n` logical values are stored in `ceil(n * width / 64)` machine words with
 //! O(1) random access.
+//!
+//! For aggregation, [`BitPacked::iter_range`] walks the packed words with a
+//! rolling bit cursor — one shift-and-mask per value, masking the tail of
+//! the final partial word — which is what the [`ColumnKernel`] block sums
+//! are built on.
+//!
+//! # Examples
+//!
+//! ```
+//! use lstore_storage::compress::bitpack::BitPacked;
+//!
+//! let packed = BitPacked::pack(&[1, 5, 3, 7], 3);
+//! assert_eq!(packed.get(1), 5);
+//! assert_eq!(packed.iter_range(1, 4).collect::<Vec<_>>(), [5, 3, 7]);
+//! ```
+
+use super::kernel::ColumnKernel;
 
 /// A bit-packed array of fixed-width unsigned integers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -86,6 +103,73 @@ impl BitPacked {
     pub fn encoded_bytes(&self) -> usize {
         self.words.len() * 8
     }
+
+    /// Sequential decode of values `lo..hi` with a rolling bit cursor: the
+    /// word index and intra-word offset advance by `width` per step, so the
+    /// per-value cost is a shift and a mask — no index multiply, no bounds
+    /// assert per element. The aggregation kernels fold over this.
+    pub fn iter_range(&self, lo: usize, hi: usize) -> BitIterRange<'_> {
+        let hi = hi.min(self.len);
+        let lo = lo.min(hi);
+        BitIterRange {
+            words: &self.words,
+            width: self.width as usize,
+            mask: if self.width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << self.width) - 1
+            },
+            bit: lo * self.width as usize,
+            remaining: hi - lo,
+        }
+    }
+}
+
+/// Rolling-cursor iterator over a [`BitPacked`] sub-range.
+pub struct BitIterRange<'a> {
+    words: &'a [u64],
+    width: usize,
+    mask: u64,
+    bit: usize,
+    remaining: usize,
+}
+
+impl Iterator for BitIterRange<'_> {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let word = self.bit / 64;
+        let off = self.bit % 64;
+        self.bit += self.width;
+        let lo = self.words[word] >> off;
+        Some(if off + self.width <= 64 {
+            lo & self.mask
+        } else {
+            // Value spills into the next word: splice the tail bits in.
+            (lo | (self.words[word + 1] << (64 - off))) & self.mask
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for BitIterRange<'_> {}
+
+impl ColumnKernel for BitPacked {
+    fn sum_range(&self, lo: usize, hi: usize) -> u64 {
+        self.iter_range(lo, hi).fold(0u64, u64::wrapping_add)
+    }
+
+    fn value_at(&self, idx: usize) -> u64 {
+        self.get(idx)
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +209,30 @@ mod tests {
         let values = vec![1u64; 64];
         let packed = BitPacked::pack(&values, 1);
         assert_eq!(packed.encoded_bytes(), 8);
+    }
+
+    #[test]
+    fn iter_range_matches_get_across_widths() {
+        for width in [1u8, 3, 7, 13, 31, 33, 63, 64] {
+            let max = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let values: Vec<u64> = (0..257u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9).wrapping_add(7) & max)
+                .collect();
+            let packed = BitPacked::pack(&values, width);
+            assert_eq!(packed.iter_range(0, 257).collect::<Vec<_>>(), values);
+            assert_eq!(
+                packed.iter_range(100, 200).collect::<Vec<_>>(),
+                &values[100..200],
+                "width {width}"
+            );
+            assert_eq!(packed.iter_range(57, 57).count(), 0);
+            let expected = values[3..251].iter().fold(0u64, |a, &b| a.wrapping_add(b));
+            assert_eq!(packed.sum_range(3, 251), expected, "width {width}");
+        }
     }
 
     #[test]

@@ -6,7 +6,24 @@
 //! column", §2.2) — and is also the delta compressor used for inlined
 //! historic versions (§4.3).
 
+//!
+//! The [`ColumnKernel`] exploits the affine shape directly:
+//! `SUM(lo..hi) = frame × (hi − lo) + Σ deltas`, with the delta sum folding
+//! over the packed words via [`BitPacked::iter_range`].
+//!
+//! # Examples
+//!
+//! ```
+//! use lstore_storage::compress::forpack::ForColumn;
+//! use lstore_storage::compress::ColumnKernel;
+//!
+//! let c = ForColumn::encode(&[1000, 1003, 1001]);
+//! assert_eq!(c.frame(), 1000);
+//! assert_eq!(c.sum_range(0, 3), 3004);
+//! ```
+
 use super::bitpack::BitPacked;
+use super::kernel::ColumnKernel;
 
 /// A frame-of-reference encoded read-only column.
 #[derive(Debug, Clone)]
@@ -57,6 +74,24 @@ impl ForColumn {
     /// Heap bytes used by the packed deltas.
     pub fn encoded_bytes(&self) -> usize {
         8 + self.deltas.encoded_bytes()
+    }
+}
+
+impl ColumnKernel for ForColumn {
+    /// Affine block sum: `frame × n` once, plus the packed delta sum. The
+    /// multiply wraps so full-width frames (e.g. `u64::MAX` sentinels in an
+    /// otherwise-constant column) stay exact modulo 2⁶⁴, matching
+    /// decode-then-aggregate.
+    fn sum_range(&self, lo: usize, hi: usize) -> u64 {
+        let hi = hi.min(self.len());
+        let lo = lo.min(hi);
+        self.base
+            .wrapping_mul((hi - lo) as u64)
+            .wrapping_add(self.deltas.sum_range(lo, hi))
+    }
+
+    fn value_at(&self, idx: usize) -> u64 {
+        self.get(idx)
     }
 }
 

@@ -19,15 +19,35 @@
 //!
 //! [`encode_auto`] picks the smallest encoding for a slice, falling back to a
 //! plain copy when compression does not pay.
+//!
+//! Aggregation does not undo any of this: the [`kernel`] module defines
+//! [`ColumnKernel`], implemented per codec (and dispatched by
+//! [`Compressed`]), so scans sum RLE columns run-by-run, FOR/bit-packed
+//! columns word-by-word, and dictionary columns code-by-code — with a
+//! [`RowMask`] punching per-row MVCC holes without a full decode.
+//!
+//! # Examples
+//!
+//! ```
+//! use lstore_storage::compress::{encode_auto, ColumnKernel};
+//!
+//! let values: Vec<u64> = (0..4096).map(|i| i % 8).collect();
+//! let col = encode_auto(&values);
+//! assert_ne!(col.codec_name(), "plain");          // something paid off
+//! assert_eq!(col.decode(), values);               // lossless
+//! assert_eq!(col.sum_range(0, 4096), values.iter().sum::<u64>());
+//! ```
 
 pub mod bitpack;
 pub mod dictionary;
 pub mod forpack;
+pub mod kernel;
 pub mod rle;
 
 pub use bitpack::BitPacked;
 pub use dictionary::DictColumn;
 pub use forpack::ForColumn;
+pub use kernel::{ColumnKernel, RowMask};
 pub use rle::RleColumn;
 
 /// A compressed, random-access read-only column.

@@ -4,6 +4,24 @@
 //! freshly loaded range, or the Schema Encoding column where most records are
 //! untouched). Runs store their *starting logical index* so `get` is a
 //! partition-point search over the run boundaries.
+//!
+//! Aggregation never looks at individual rows: the [`ColumnKernel`] sums
+//! `value × run_len` per run, and [`RleColumn::runs_in`] exposes the
+//! run segmentation so scans can do run-granular GROUP BY accumulation.
+//!
+//! # Examples
+//!
+//! ```
+//! use lstore_storage::compress::rle::RleColumn;
+//!
+//! let c = RleColumn::encode(&[4, 4, 4, 9, 9, 2]);
+//! assert_eq!(c.run_count(), 3);
+//! // Runs overlapping rows 1..6, clipped: (start, end, value).
+//! let runs: Vec<_> = c.runs_in(1, 6).collect();
+//! assert_eq!(runs, [(1, 3, 4), (3, 5, 9), (5, 6, 2)]);
+//! ```
+
+use super::kernel::ColumnKernel;
 
 /// A run-length encoded read-only column.
 #[derive(Debug, Clone)]
@@ -66,6 +84,44 @@ impl RleColumn {
     /// Heap bytes used by run starts plus values.
     pub fn encoded_bytes(&self) -> usize {
         self.starts.len() * 4 + self.values.len() * 8
+    }
+
+    /// Iterate the runs overlapping `lo..hi` as `(start, end, value)`
+    /// segments, clipped to the window. The entry run is found by binary
+    /// search; subsequent runs stream sequentially.
+    pub fn runs_in(&self, lo: usize, hi: usize) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
+        let hi = hi.min(self.len);
+        let lo = lo.min(hi);
+        let first = if lo >= hi {
+            self.starts.len() // empty window: start past the last run
+        } else {
+            self.starts.partition_point(|&s| (s as usize) <= lo) - 1
+        };
+        (first..self.starts.len())
+            .map(move |run| {
+                let start = (self.starts[run] as usize).max(lo);
+                let end = self
+                    .starts
+                    .get(run + 1)
+                    .map_or(self.len, |&s| s as usize)
+                    .min(hi);
+                (start, end, self.values[run])
+            })
+            .take_while(|&(start, end, _)| start < end)
+    }
+}
+
+impl ColumnKernel for RleColumn {
+    /// Run-level arithmetic: one multiply-add per run instead of one add
+    /// per row — a constant column sums in O(1) regardless of length.
+    fn sum_range(&self, lo: usize, hi: usize) -> u64 {
+        self.runs_in(lo, hi).fold(0u64, |acc, (start, end, v)| {
+            acc.wrapping_add(v.wrapping_mul((end - start) as u64))
+        })
+    }
+
+    fn value_at(&self, idx: usize) -> u64 {
+        self.get(idx)
     }
 }
 

@@ -8,7 +8,28 @@
 //!
 //! Format of one image:
 //! ```text
-//! magic "LSPG" | u8 codec | u64 len | codec-specific payload
+//! magic "LSPG" | u8 codec | u64 len | len × u64 values (big-endian)
+//! ```
+//!
+//! The payload is always the *decoded* cell values; the codec byte records
+//! which encoding to rebuild on load. Codecs are deterministic functions of
+//! the values, so this keeps the wire format independent of in-memory
+//! layout details (bit widths, run indexes, dictionary order) while still
+//! round-tripping the codec choice exactly — [`decode_image`] re-encodes
+//! with the tagged codec and [`BasePage::from_compressed`] wraps the result
+//! without another encode pass.
+//!
+//! # Examples
+//!
+//! ```
+//! use lstore_storage::compress::{encode, CodecChoice};
+//! use lstore_storage::disk::{decode_image, encode_image};
+//!
+//! let col = encode(&[5, 5, 5, 9], CodecChoice::Rle);
+//! let image = encode_image(&col);
+//! let back = decode_image(&image).unwrap();
+//! assert_eq!(back.codec_name(), "rle");
+//! assert_eq!(back.decode(), vec![5, 5, 5, 9]);
 //! ```
 
 use std::fs::{File, OpenOptions};
@@ -192,18 +213,6 @@ pub fn load_page_file(path: &Path) -> StorageResult<Vec<(u64, BasePage)>> {
     Ok(pages)
 }
 
-impl BasePage {
-    /// Rebuild a page directly from a decoded compressed column.
-    pub fn from_compressed(col: Compressed) -> Self {
-        // BasePage is a thin wrapper; re-encode plainly via decode to keep
-        // construction simple and deterministic.
-        match col {
-            Compressed::Plain(v) => BasePage::plain(v.into_vec()),
-            other => BasePage::from_values(&other.decode(), crate::compress::CodecChoice::Auto),
-        }
-    }
-}
-
 /// Mark a type as unused BitPacked import guard (keeps codec internals open
 /// for future zero-copy image formats).
 #[allow(dead_code)]
@@ -227,6 +236,12 @@ mod tests {
             let image = encode_image(&col);
             let back = decode_image(&image).unwrap();
             assert_eq!(back.decode(), values, "{choice:?}");
+            // The codec choice survives the round trip, and wrapping the
+            // loaded column as a page must not re-encode it (the page keeps
+            // whatever the image said, not what CodecChoice::Auto would pick).
+            assert_eq!(back.codec_name(), col.codec_name(), "{choice:?}");
+            let page = BasePage::from_compressed(back);
+            assert_eq!(page.codec_name(), col.codec_name(), "{choice:?}");
         }
     }
 

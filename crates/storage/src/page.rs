@@ -6,7 +6,7 @@
 //! — which is what makes readers latch-free on them (§5.1.2: "readers do not
 //! have to latch the read-only base pages").
 
-use crate::compress::{self, CodecChoice, Compressed};
+use crate::compress::{self, CodecChoice, ColumnKernel, Compressed, RowMask};
 
 /// An immutable, optionally compressed columnar base page.
 ///
@@ -34,6 +34,13 @@ impl BasePage {
         }
     }
 
+    /// Wrap an already-built compressed column as a page, preserving its
+    /// codec exactly (no decode, no re-encode). This is how page images
+    /// loaded from disk become pages again.
+    pub fn from_compressed(col: Compressed) -> Self {
+        BasePage { data: col }
+    }
+
     /// Number of record slots.
     pub fn len(&self) -> usize {
         self.data.len()
@@ -57,12 +64,34 @@ impl BasePage {
     }
 
     /// Sum all slots; the building block of the paper's scan experiment (§6.2
-    /// "computing the SUM aggregation on a column").
+    /// "computing the SUM aggregation on a column"). Dispatches to the
+    /// codec's [`ColumnKernel`] — runs, packed words, or code frequencies —
+    /// never a per-slot decode loop.
     pub fn sum(&self) -> u64 {
-        match &self.data {
-            Compressed::Plain(v) => v.iter().fold(0u64, |a, &b| a.wrapping_add(b)),
-            other => (0..other.len()).fold(0u64, |a, i| a.wrapping_add(other.get(i))),
+        self.data.sum_range(0, self.data.len())
+    }
+
+    /// Wrapping sum of slots `lo..hi` via the codec's kernel.
+    pub fn sum_range(&self, lo: usize, hi: usize) -> u64 {
+        self.data.sum_range(lo, hi)
+    }
+
+    /// Wrapping sum of slots `lo..hi`, skipping rows `mask` excludes (the
+    /// MVCC holes a scan resolves through the version chain instead).
+    pub fn sum_range_masked(&self, lo: usize, hi: usize, mask: &RowMask) -> u64 {
+        if mask.all_visible() {
+            self.data.sum_range(lo, hi)
+        } else {
+            self.data.sum_range_masked(lo, hi, mask)
         }
+    }
+
+    /// Decode slots `lo..hi` per row and sum them — the pre-kernel baseline
+    /// the `BENCH_CODEC` bench axis compares [`BasePage::sum_range`]
+    /// against (and the fallback for masked-dense pages, where per-row
+    /// reads beat encoded-sum-minus-holes).
+    pub fn sum_range_decoded(&self, lo: usize, hi: usize) -> u64 {
+        (lo..hi).fold(0u64, |a, i| a.wrapping_add(self.data.get(i)))
     }
 
     /// Codec used by this page.
@@ -108,5 +137,38 @@ mod tests {
     fn sum_wraps_instead_of_panicking() {
         let p = BasePage::plain(vec![u64::MAX, 2]);
         assert_eq!(p.sum(), 1);
+    }
+
+    #[test]
+    fn from_compressed_preserves_codec() {
+        let values: Vec<u64> = (0..512).map(|i| i / 64).collect();
+        for choice in [
+            CodecChoice::Dictionary,
+            CodecChoice::Rle,
+            CodecChoice::ForPack,
+            CodecChoice::None,
+        ] {
+            let col = compress::encode(&values, choice);
+            let name = col.codec_name();
+            let page = BasePage::from_compressed(col);
+            assert_eq!(page.codec_name(), name, "{choice:?} must not re-encode");
+            assert_eq!(page.decode(), values);
+        }
+    }
+
+    #[test]
+    fn ranged_sums_agree_with_decode() {
+        let values: Vec<u64> = (0..777).map(|i| (i % 13) * 3).collect();
+        let page = BasePage::from_values(&values, CodecChoice::Auto);
+        let expected: u64 = values[100..700].iter().sum();
+        assert_eq!(page.sum_range(100, 700), expected);
+        assert_eq!(page.sum_range_decoded(100, 700), expected);
+        let mut mask = RowMask::new(values.len());
+        mask.exclude(100);
+        mask.exclude(699);
+        assert_eq!(
+            page.sum_range_masked(100, 700, &mask),
+            expected - values[100] - values[699]
+        );
     }
 }
