@@ -7,6 +7,11 @@
 //! rows (`threads=T shards=S` labels): the base cross-engine rows always
 //! run the paper's single-shard table, and each sweep value above 1 adds an
 //! L-Store-only row per thread count, isolating writer-side shard scaling.
+//!
+//! A `BENCH_POOL_PAGES` axis (low contention only, to bound CI cost) adds
+//! store-backed L-Store rows (`threads=T pool_pages=B` labels): sealed
+//! base pages live behind a budgeted page store, so the update path pays
+//! for faulting evicted pages back in while it runs.
 
 use std::sync::Arc;
 
@@ -53,6 +58,28 @@ fn main() {
                     &format!("threads={threads} shards={shards}"),
                     &[("L-Store", mtxns(r.txns_per_sec))],
                 );
+            }
+        }
+        // Store-backed axis: L-Store only, low contention only — one
+        // residency configuration per pool budget is enough to catch an
+        // update path that stalls on page faulting; repeating it at the
+        // other contention levels would triple the cost of the same
+        // signal.
+        if matches!(contention, Contention::Low) {
+            for budget in setup::pool_pages_sweep() {
+                let label = setup::pool_pages_label(budget);
+                let path = setup::store_scratch(&format!("fig7-pool-{label}"));
+                let engine: Arc<dyn Engine> =
+                    setup::lstore_store_engine(&config, path.clone(), budget);
+                for threads in setup::thread_sweep() {
+                    let r = run_throughput(&engine, &config, threads, setup::window(), None, true);
+                    report::row(
+                        &format!("threads={threads} pool_pages={label}"),
+                        &[("L-Store", mtxns(r.txns_per_sec))],
+                    );
+                }
+                drop(engine);
+                std::fs::remove_file(&path).ok();
             }
         }
     }

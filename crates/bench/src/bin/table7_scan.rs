@@ -113,6 +113,92 @@ fn main() {
             ],
         );
     }
+
+    // The pool axis: the same quiesced SUM, but with every sealed base
+    // page owned by a budgeted page store (BENCH_POOL_PAGES, 0 =
+    // unbounded). A budget below the working set makes each scan pass
+    // fault evicted pages back in from disk — that cost is the scan cell.
+    // The plain-number hit_rate cell is measured over a separate hot-set
+    // phase (repeated point reads of a pool-sized key range): a cyclic
+    // full scan through a starved pool misses by construction, but the
+    // hot set must stay resident at every budget, so this cell is the
+    // gated floor — it collapsing means eviction stopped respecting
+    // recency (or pins leaked and the budget accounting broke).
+    report::header(
+        "Table 7 (pool)",
+        &format!(
+            "SUM over one quiesced store-backed column vs pool budget; rows={}",
+            config.rows
+        ),
+    );
+    for budget in setup::pool_pages_sweep() {
+        let label = setup::pool_pages_label(budget);
+        let (scan, hit_rate) = time_pooled_scan(config.rows, budget, &label, iters);
+        report::row(
+            &format!("pool_pages={label}"),
+            &[
+                ("scan", secs_fine(scan)),
+                ("hit_rate", format!("{hit_rate:.3}")),
+                ("miss_rate", format!("{:.1}%", (1.0 - hit_rate) * 100.0)),
+            ],
+        );
+    }
+}
+
+/// Average seconds per full-column `sum_as_of` over a freshly built,
+/// merged, update-free table whose sealed pages live behind a page store
+/// budgeted to `budget` frames, plus the pool hit rate over a hot-set
+/// point-read phase run after the timed scans.
+fn time_pooled_scan(rows: u64, budget: Option<usize>, tag: &str, iters: usize) -> (f64, f64) {
+    let path = setup::store_scratch(&format!("table7-pool-{tag}"));
+    let mut config = DbConfig::new()
+        .with_pool_threads(1)
+        .with_shards(1)
+        .with_page_store(path.clone());
+    if let Some(pages) = budget {
+        config = config.with_buffer_pool_pages(pages);
+    }
+    let db = Database::new(config);
+    let t = db
+        .create_table("pool", &["v"], TableConfig::default().with_range_size(4096))
+        .expect("create pool table");
+    for k in 0..rows {
+        t.insert_auto(k, &[(k / 64) % 16]).expect("load row");
+    }
+    t.merge_all();
+    let ts = t.now();
+    // Warm-up pass doubles as a correctness pin across residency configs.
+    let expected = t.sum_as_of(0, ts);
+    let start = Instant::now();
+    for _ in 0..iters {
+        assert_eq!(std::hint::black_box(t.sum_as_of(0, ts)), expected);
+    }
+    let elapsed = start.elapsed().as_secs_f64() / iters as f64;
+    // Hot-set phase: repeated point reads over a key range whose pages fit
+    // in even the starved budget. The first pass faults the hot pages in;
+    // every later pass must hit, so the rate is high and stable at any
+    // budget — unlike the cyclic scan above, which misses every frame of
+    // a too-small pool by construction.
+    let before = db.store_stats().expect("store configured");
+    for _ in 0..8 {
+        for k in 0..64u64.min(rows) {
+            std::hint::black_box(t.read_as_of(k, &[0], ts).expect("hot read"));
+        }
+    }
+    let after = db.store_stats().expect("store configured");
+    let hits = after.hits - before.hits;
+    let faults = after.faults - before.faults;
+    // An unbounded pool never faults during the window: that is a perfect
+    // hit rate, not a degenerate cell.
+    let hit_rate = if hits + faults == 0 {
+        1.0
+    } else {
+        hits as f64 / (hits + faults) as f64
+    };
+    drop(t);
+    drop(db);
+    std::fs::remove_file(&path).ok();
+    (elapsed, hit_rate)
 }
 
 /// Average seconds per full-column `sum_as_of` over a freshly built,

@@ -99,6 +99,35 @@ pub fn shard_sweep() -> Vec<usize> {
     usize_list("BENCH_SHARDS").unwrap_or_else(|| vec![1, 4])
 }
 
+/// Buffer-pool page budgets to sweep in the Table 7 / fig7 pool axes (env
+/// `BENCH_POOL_PAGES`, comma-separated; `0` means unbounded; default `4,0`
+/// — a starved 4-page pool that must fault pages back from the store on
+/// every pass vs the keep-everything-resident configuration).
+pub fn pool_pages_sweep() -> Vec<Option<usize>> {
+    usize_list("BENCH_POOL_PAGES")
+        .unwrap_or_else(|| vec![4, 0])
+        .into_iter()
+        .map(|n| if n == 0 { None } else { Some(n) })
+        .collect()
+}
+
+/// Row-label fragment for a pool budget: the page count, or `inf` for the
+/// unbounded (0) sentinel.
+pub fn pool_pages_label(budget: Option<usize>) -> String {
+    budget.map_or_else(|| "inf".into(), |b| b.to_string())
+}
+
+/// Fresh page-store path for one bench engine, deleted first so every run
+/// starts from a cold store (a reused file would replay stale pages into
+/// the measurement).
+pub fn store_scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("lstore-bench-store");
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join(format!("{tag}-{}.pages", std::process::id()));
+    std::fs::remove_file(&path).ok();
+    path
+}
+
 /// Closed-loop client connection counts to sweep in the fig_serve runner
 /// (env `BENCH_CONNS`, comma-separated; default `1,4` — one connection
 /// cannot coalesce across peers, four can).
@@ -232,6 +261,29 @@ pub fn lstore_durable_engine(
             .with_durability(durability),
         TableConfig::default(),
     ));
+    e.populate(config.rows, config.cols);
+    e
+}
+
+/// Build one populated L-Store engine whose sealed base pages live behind
+/// a page store budgeted to `pool_pages` frames (`None` = unbounded).
+/// Without the store, bench setup keeps whole-table page vectors
+/// heap-resident forever and an eviction measurement measures nothing;
+/// here every merged page is owned by the store, so a budget below the
+/// working set forces real faults during the measured window.
+pub fn lstore_store_engine(
+    config: &WorkloadConfig,
+    store_path: PathBuf,
+    pool_pages: Option<usize>,
+) -> Arc<LStoreEngine> {
+    let mut db = DbConfig::new()
+        .with_pool_threads(1)
+        .with_shards(1)
+        .with_page_store(store_path);
+    if let Some(pages) = pool_pages {
+        db = db.with_buffer_pool_pages(pages);
+    }
+    let e = Arc::new(LStoreEngine::with_configs(db, TableConfig::default()));
     e.populate(config.rows, config.cols);
     e
 }

@@ -12,13 +12,25 @@
 //! skipped by the TPS watermark during merges). Because base pages are
 //! immutable, checkpointing reads only stable data and never blocks
 //! transactions — the same contention-free argument as the merge.
+//!
+//! With a page store configured ([`crate::DbConfig::with_page_store`]) the
+//! dedicated checkpoint file becomes optional:
+//! [`Table::checkpoint_to_store`] persists the page images into the store
+//! itself (sealed pages are usually already there — persisting is then just
+//! a dirty-frame writeback) plus one manifest page under a reserved id, and
+//! [`Table::restore_from_store`] rebuilds the table *without loading the
+//! pages* — every restored range holds store-backed page handles that fault
+//! in on first read, so recovery consults the store before replaying the
+//! WAL suffix and a cold restart never materializes more than the pool
+//! budget.
 
 use std::path::Path;
 use std::sync::Arc;
 
 use lstore_storage::disk::{load_page_file, PageFile};
 use lstore_storage::page::BasePage;
-use lstore_storage::NULL_VALUE;
+use lstore_storage::store::{PagePtr, PageStore, MANIFEST_ID_BASE};
+use lstore_storage::{StorageError, NULL_VALUE};
 
 use crate::error::{Error, Result};
 use crate::range::{BaseData, BaseVersion};
@@ -33,6 +45,16 @@ const META_SCHEMA_ENC: u64 = 0xFF;
 
 fn image_id(range_id: u32, column_slot: u64) -> u64 {
     ((range_id as u64) << 8) | column_slot
+}
+
+/// Layout version of the in-store checkpoint manifest (first manifest cell).
+const STORE_MANIFEST_VERSION: u64 = 1;
+
+/// The reserved page-store id holding a table's checkpoint manifest.
+/// `MANIFEST_ID_BASE` keeps the whole manifest id space disjoint from
+/// `PageStore::allocate_id`.
+fn store_manifest_id(table_id: u32) -> u64 {
+    MANIFEST_ID_BASE | table_id as u64
 }
 
 /// Summary of a checkpoint operation.
@@ -80,12 +102,12 @@ impl Table {
                     schema_enc,
                 } => {
                     for (c, page) in data.iter().enumerate() {
-                        file.append(image_id(range.id, c as u64), page)?;
+                        file.append(image_id(range.id, c as u64), &page.read())?;
                         report.pages += 1;
                     }
-                    file.append(image_id(range.id, META_START_TIME), start_time)?;
-                    file.append(image_id(range.id, META_LAST_UPDATED), last_updated)?;
-                    file.append(image_id(range.id, META_SCHEMA_ENC), schema_enc)?;
+                    file.append(image_id(range.id, META_START_TIME), &start_time.read())?;
+                    file.append(image_id(range.id, META_LAST_UPDATED), &last_updated.read())?;
+                    file.append(image_id(range.id, META_SCHEMA_ENC), &schema_enc.read())?;
                     report.pages += 3;
                     report.ranges += 1;
                 }
@@ -131,6 +153,11 @@ impl Table {
             if !persisted {
                 continue;
             }
+            // Loaded pages seal through the runtime's page store when one
+            // is configured, so a restored dataset obeys the pool budget
+            // from the first read on (without one they stay heap-resident,
+            // the pre-store behavior).
+            let store = self.runtime.page_store();
             let mut data = Vec::with_capacity(ncols);
             for c in 0..ncols {
                 let page = lookup(image_id(range_id, c as u64)).ok_or_else(|| {
@@ -138,23 +165,17 @@ impl Table {
                         id: image_id(range_id, c as u64),
                     })
                 })?;
-                data.push(Arc::new(page.clone()));
+                data.push(PagePtr::seal(store, page.clone()));
             }
-            let start_time = Arc::new(
-                lookup(image_id(range_id, META_START_TIME))
-                    .expect("start-time image")
-                    .clone(),
-            );
-            let last_updated = Arc::new(
-                lookup(image_id(range_id, META_LAST_UPDATED))
-                    .expect("last-updated image")
-                    .clone(),
-            );
-            let schema_enc = Arc::new(
-                lookup(image_id(range_id, META_SCHEMA_ENC))
-                    .expect("schema-enc image")
-                    .clone(),
-            );
+            let start_time = lookup(image_id(range_id, META_START_TIME))
+                .expect("start-time image")
+                .clone();
+            let last_updated = lookup(image_id(range_id, META_LAST_UPDATED))
+                .expect("last-updated image")
+                .clone();
+            let schema_enc = lookup(image_id(range_id, META_SCHEMA_ENC))
+                .expect("schema-enc image")
+                .clone();
             let max_start = (0..len)
                 .map(|s| start_time.get(s))
                 .filter(|&v| v != NULL_VALUE)
@@ -176,9 +197,9 @@ impl Table {
                 has_deletes,
                 data: BaseData::Pages {
                     data: data.into_boxed_slice(),
-                    start_time: Arc::clone(&start_time),
-                    last_updated,
-                    schema_enc: Arc::clone(&schema_enc),
+                    start_time: PagePtr::seal(store, start_time.clone()),
+                    last_updated: PagePtr::seal(store, last_updated),
+                    schema_enc: PagePtr::seal(store, schema_enc.clone()),
                 },
             });
             // Rebuild the primary index and the clock horizon from the
@@ -208,6 +229,192 @@ impl Table {
         while self.range_count() <= range_id as usize {
             self.grow_for_replay();
         }
+    }
+
+    /// The runtime's page store, or an `Unsupported` storage error naming
+    /// the missing configuration knob.
+    fn require_store(&self) -> Result<&Arc<PageStore>> {
+        self.runtime.page_store().ok_or_else(|| {
+            Error::Storage(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "page store not configured (DbConfig::with_page_store)",
+            )))
+        })
+    }
+
+    /// Checkpoint this table *into the page store*: persist every merged
+    /// range's base pages (pages the merge already sealed are just written
+    /// back if still dirty — no second copy) and publish one manifest page
+    /// under the table's reserved id, then flush + fsync the store file.
+    ///
+    /// Manifest layout (a plain page of u64 cells):
+    /// `[version, n_ranges, n_data_columns]`, then per range
+    /// `[range_id, tps, len, persisted]` followed — when `persisted` — by
+    /// the store ids of the data pages and the three meta pages. The
+    /// manifest is appended last, so a crash mid-checkpoint leaves the
+    /// previous manifest (and every page id it references) intact.
+    ///
+    /// Requires [`crate::DbConfig::with_page_store`]; insert-phase ranges
+    /// are skipped exactly as in [`Table::checkpoint`].
+    pub fn checkpoint_to_store(&self) -> Result<CheckpointReport> {
+        let store = self.require_store()?;
+        let mut report = CheckpointReport::default();
+        let ranges = self.all_ranges();
+        let mut manifest = vec![
+            STORE_MANIFEST_VERSION,
+            ranges.len() as u64,
+            self.schema().column_count() as u64,
+        ];
+        for range in &ranges {
+            let base = range.base();
+            let persisted = !base.is_insert_phase();
+            manifest.extend_from_slice(&[
+                range.id as u64,
+                base.tps,
+                base.len as u64,
+                persisted as u64,
+            ]);
+            match &base.data {
+                BaseData::Insert(_) => {
+                    report.skipped_insert_phase += 1;
+                }
+                BaseData::Pages {
+                    data,
+                    start_time,
+                    last_updated,
+                    schema_enc,
+                } => {
+                    for ptr in data.iter() {
+                        manifest.push(store.persist(ptr)?);
+                        report.pages += 1;
+                    }
+                    for ptr in [start_time, last_updated, schema_enc] {
+                        manifest.push(store.persist(ptr)?);
+                    }
+                    report.pages += 3;
+                    report.ranges += 1;
+                }
+            }
+        }
+        store.put_page(store_manifest_id(self.id), &BasePage::plain(manifest))?;
+        store.flush()?;
+        Ok(report)
+    }
+
+    /// Restore base pages from the page store's manifest written by
+    /// [`Table::checkpoint_to_store`] into this freshly created table —
+    /// recovery's consult-the-store-first step, before replaying the WAL
+    /// suffix with [`Table::replay`].
+    ///
+    /// Restored ranges hold store-backed page handles: no page data is
+    /// read here beyond the meta columns needed to rebuild the primary
+    /// index and clock horizon, and once restored the resident set stays
+    /// within the pool budget however large the table is. Returns the
+    /// number of ranges restored, or [`StorageError::MissingEntry`] for
+    /// the manifest id when the store holds no checkpoint of this table.
+    pub fn restore_from_store(&self) -> Result<usize> {
+        let store = self.require_store()?;
+        let manifest = store.read_page(store_manifest_id(self.id))?.decode();
+        if manifest.len() < 3 || manifest[0] != STORE_MANIFEST_VERSION {
+            return Err(Error::Storage(StorageError::Corrupt(
+                "unrecognized page-store checkpoint manifest".into(),
+            )));
+        }
+        let n_ranges = manifest[1] as usize;
+        let ncols = manifest[2] as usize;
+        if ncols != self.schema().column_count() {
+            return Err(Error::ColumnOutOfRange {
+                column: ncols,
+                columns: self.schema().column_count(),
+            });
+        }
+        let mut cursor = 3usize;
+        let mut restored = 0usize;
+        for _ in 0..n_ranges {
+            if manifest.len() < cursor + 4 {
+                return Err(Error::Storage(StorageError::Corrupt(
+                    "truncated page-store checkpoint manifest".into(),
+                )));
+            }
+            let entry = &manifest[cursor..cursor + 4];
+            cursor += 4;
+            let (range_id, tps, len, persisted) =
+                (entry[0] as u32, entry[1], entry[2] as usize, entry[3] != 0);
+            self.ensure_ranges_for_restore(range_id);
+            if !persisted {
+                continue;
+            }
+            if manifest.len() < cursor + ncols + 3 {
+                return Err(Error::Storage(StorageError::Corrupt(
+                    "truncated page-store checkpoint manifest".into(),
+                )));
+            }
+            let page_ids = &manifest[cursor..cursor + ncols + 3];
+            cursor += ncols + 3;
+            let mut data = Vec::with_capacity(ncols);
+            for &id in &page_ids[..ncols] {
+                data.push(store.handle(id)?);
+            }
+            let start_time = store.handle(page_ids[ncols])?;
+            let last_updated = store.handle(page_ids[ncols + 1])?;
+            let schema_enc = store.handle(page_ids[ncols + 2])?;
+            // One pin per meta column covers the whole lineage scan.
+            let (max_start, max_last_updated, has_deletes) = {
+                let st = start_time.read();
+                let lu = last_updated.read();
+                let se = schema_enc.read();
+                (
+                    (0..len)
+                        .map(|s| st.get(s))
+                        .filter(|&v| v != NULL_VALUE)
+                        .max()
+                        .unwrap_or(0),
+                    (0..len)
+                        .map(|s| lu.get(s))
+                        .filter(|&v| v != NULL_VALUE)
+                        .max()
+                        .unwrap_or(0),
+                    (0..len).any(|s| crate::schema::SchemaEncoding(se.get(s)).is_delete()),
+                )
+            };
+            let version = Arc::new(BaseVersion {
+                tps,
+                column_tps: vec![tps; ncols].into_boxed_slice(),
+                len,
+                max_start,
+                max_last_updated,
+                has_deletes,
+                data: BaseData::Pages {
+                    data: data.into_boxed_slice(),
+                    start_time: start_time.clone(),
+                    last_updated,
+                    schema_enc: schema_enc.clone(),
+                },
+            });
+            // Rebuild the primary index and the clock horizon from the
+            // restored pages.
+            let range = self.range_handle(range_id);
+            range.reserve_slots(len as u32);
+            range.tail.ensure_seq(tps as u32);
+            {
+                let st = start_time.read();
+                let se = schema_enc.read();
+                for slot in 0..len as u32 {
+                    let start = st.get(slot as usize);
+                    if start != NULL_VALUE {
+                        self.runtime.clock.advance_to(start + 1);
+                    }
+                    let deleted = crate::schema::SchemaEncoding(se.get(slot as usize)).is_delete();
+                    let key = version.value(0, slot);
+                    if !deleted && key != NULL_VALUE {
+                        self.pk_insert_raw(key, crate::rid::Rid::base(range_id, slot));
+                    }
+                }
+            }
+            range.swap_base(version);
+            restored += 1;
+        }
+        Ok(restored)
     }
 }
 
@@ -283,6 +490,84 @@ mod tests {
         let report = t.checkpoint(&path).unwrap();
         assert_eq!(report.ranges, 0);
         assert_eq!(report.skipped_insert_phase, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn store_checkpoint_roundtrip_under_a_tiny_pool() {
+        let path = ckpt_path("store-roundtrip");
+        let config = || {
+            DbConfig::deterministic()
+                .with_page_store(path.clone())
+                .with_buffer_pool_pages(2)
+        };
+        let (expect_sum, expect_count, report, expect_rows);
+        {
+            let db = Database::new(config());
+            let t = db
+                .create_table("c", &["a", "b"], TableConfig::small())
+                .unwrap();
+            for k in 0..600 {
+                t.insert_auto(k, &[k * 2, k * 3]).unwrap();
+            }
+            for k in (0..600).step_by(5) {
+                t.update_auto(k, &[(0, k + 1)]).unwrap();
+            }
+            for k in (0..600).step_by(100) {
+                t.delete_auto(k).unwrap();
+            }
+            t.merge_all();
+            report = t.checkpoint_to_store().unwrap();
+            assert!(report.ranges >= 2);
+            expect_sum = t.sum_auto(0);
+            expect_count = t.count_as_of(t.now());
+            expect_rows = [1u64, 5, 250, 599].map(|k| t.read_latest_auto(k).unwrap());
+            drop(db);
+        }
+        // Reopen the same store cold: restore consults only the manifest
+        // and meta columns, then reads fault pages in under the 2-page
+        // budget.
+        let db2 = Database::new(config());
+        let t2 = db2
+            .create_table("c", &["a", "b"], TableConfig::small())
+            .unwrap();
+        let restored = t2.restore_from_store().unwrap();
+        assert_eq!(restored, report.ranges);
+        assert_eq!(t2.sum_auto(0), expect_sum);
+        assert_eq!(t2.count_as_of(t2.now()), expect_count);
+        for (k, expect) in [1u64, 5, 250, 599].into_iter().zip(expect_rows) {
+            assert_eq!(t2.read_latest_auto(k).unwrap(), expect, "key {k}");
+        }
+        let stats = t2.stats();
+        assert!(
+            stats.pool_resident <= 2 + stats.pool_pinned,
+            "restore must not blow the budget: {stats:?}"
+        );
+        // The restored table accepts new writes, merges, and re-checkpoints.
+        t2.update_auto(1, &[(1, 999)]).unwrap();
+        t2.merge_all();
+        assert_eq!(t2.read_latest_auto(1).unwrap()[1], 999);
+        t2.checkpoint_to_store().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn store_checkpoint_requires_a_configured_store() {
+        let db = Database::new(DbConfig::deterministic());
+        let t = db.create_table("c", &["a"], TableConfig::small()).unwrap();
+        assert!(t.checkpoint_to_store().is_err());
+        assert!(t.restore_from_store().is_err());
+    }
+
+    #[test]
+    fn restore_from_store_without_manifest_is_missing_entry() {
+        let path = ckpt_path("store-nomanifest");
+        let db = Database::new(DbConfig::deterministic().with_page_store(path.clone()));
+        let t = db.create_table("c", &["a"], TableConfig::small()).unwrap();
+        match t.restore_from_store() {
+            Err(crate::Error::Storage(lstore_storage::StorageError::MissingEntry { .. })) => {}
+            other => panic!("expected MissingEntry, got {other:?}"),
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -178,6 +178,21 @@ pub struct DbConfig {
     /// `kernel_equivalence` property suite pins this) — the switch exists
     /// so benchmarks can measure the kernel dividend on identical data.
     pub scan_kernels: bool,
+    /// Page-store file path; `None` (the default) keeps every sealed base
+    /// page resident in memory, exactly the pre-store behavior. When set,
+    /// the merge seals base pages into this file behind the buffer pool,
+    /// and checkpoints can persist page images by id instead of rewriting
+    /// them (§2.1's "persisted identically" promise, now with a shared
+    /// on-disk home).
+    pub page_store_path: Option<PathBuf>,
+    /// Buffer-pool capacity in pages for the page store; `None` means
+    /// unbounded (every stored page stays resident once faulted in).
+    /// Takes effect only when [`DbConfig::page_store_path`] is set.
+    /// Eviction is clock/second-chance over unpinned frames; results are
+    /// byte-identical at any budget (the `buffer_pool_equivalence` suite
+    /// pins this) — the knob trades memory for fault-in I/O, never
+    /// answers.
+    pub buffer_pool_pages: Option<usize>,
 }
 
 impl Default for DbConfig {
@@ -206,6 +221,8 @@ impl DbConfig {
             shards: cores,
             batch_read_min: DbConfig::DEFAULT_BATCH_READ_MIN,
             scan_kernels: true,
+            page_store_path: None,
+            buffer_pool_pages: None,
         }
     }
 
@@ -222,6 +239,8 @@ impl DbConfig {
             shards: 1,
             batch_read_min: DbConfig::DEFAULT_BATCH_READ_MIN,
             scan_kernels: true,
+            page_store_path: None,
+            buffer_pool_pages: None,
         }
     }
 
@@ -282,6 +301,20 @@ impl DbConfig {
         self.scan_kernels = on;
         self
     }
+
+    /// Back sealed base pages with a page-store file at `path` (merges
+    /// write page images there; evicted pages fault back in on demand).
+    pub fn with_page_store(mut self, path: PathBuf) -> Self {
+        self.page_store_path = Some(path);
+        self
+    }
+
+    /// Cap the page store's buffer pool at `pages` resident pages (clamped
+    /// to ≥ 1; meaningful only with [`DbConfig::with_page_store`]).
+    pub fn with_buffer_pool_pages(mut self, pages: usize) -> Self {
+        self.buffer_pool_pages = Some(pages.max(1));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -330,6 +363,19 @@ mod tests {
         assert!(DbConfig::new().scan_kernels);
         assert!(DbConfig::deterministic().scan_kernels);
         assert!(!DbConfig::new().with_scan_kernels(false).scan_kernels);
+    }
+
+    #[test]
+    fn page_store_defaults_off_and_pool_budget_clamps() {
+        let config = DbConfig::new();
+        assert!(config.page_store_path.is_none(), "store is opt-in");
+        assert!(config.buffer_pool_pages.is_none(), "unbounded by default");
+        let config = DbConfig::deterministic()
+            .with_page_store("/tmp/x.pages".into())
+            .with_buffer_pool_pages(0);
+        assert_eq!(config.page_store_path, Some(PathBuf::from("/tmp/x.pages")));
+        // A zero-page pool could never admit a frame: clamp to 1.
+        assert_eq!(config.buffer_pool_pages, Some(1));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::sync::{Arc, OnceLock, Weak};
 use parking_lot::RwLock;
 
 use lstore_storage::epoch::EpochManager;
+use lstore_storage::store::{PageStore, PoolStatsSnapshot};
 use lstore_txn::{GlobalClock, IsolationLevel, Transaction, TxnManager, TxnStatus};
 use lstore_wal::{CommitPolicy, LogRecord, ShardedWal, ShardedWalConfig};
 
@@ -36,6 +37,9 @@ pub struct Runtime {
     /// Optional redo-only WAL: one append-only segment stream per table
     /// shard, with the configured [`Durability`] policy on commits.
     pub wal: Option<Arc<ShardedWal>>,
+    /// Optional buffer-pool page store: merges seal base pages into it,
+    /// evicted pages fault back in on demand (`DbConfig::page_store_path`).
+    store: Option<Arc<PageStore>>,
     /// Configured scan fan-out width (`DbConfig::pool_threads`).
     pool_threads: usize,
     /// Whether writers may queue background merges (`DbConfig::background_merge`).
@@ -147,6 +151,12 @@ impl Runtime {
         self.scan_kernels
     }
 
+    /// The buffer-pool page store, when configured — the merge seals new
+    /// base pages through it instead of keeping them pinned in memory.
+    pub(crate) fn page_store(&self) -> Option<&Arc<PageStore>> {
+        self.store.as_ref()
+    }
+
     /// Block until every queued merge job has executed.
     pub(crate) fn drain_merges(&self) {
         if let Some(Some(pool)) = self.pool.get() {
@@ -219,11 +229,16 @@ impl Database {
                 .expect("create wal"),
             )
         });
+        let store = config
+            .page_store_path
+            .as_ref()
+            .map(|p| PageStore::open(p, config.buffer_pool_pages).expect("open page store"));
         let runtime = Arc::new(Runtime {
             clock: GlobalClock::new(),
             mgr: TxnManager::new(),
             epoch: EpochManager::new(),
             wal,
+            store,
             pool_threads: config.pool_threads.max(1),
             background_merge: config.background_merge,
             shards: config.shards.max(1),
@@ -453,6 +468,23 @@ impl Database {
             .collect()
     }
 
+    /// Buffer-pool counters of the page store (`None` when the database
+    /// runs without one). Gauges: resident/pinned frames; monotonic
+    /// counters: hits, faults, evictions, writebacks.
+    pub fn store_stats(&self) -> Option<PoolStatsSnapshot> {
+        self.runtime.store.as_ref().map(|s| s.pool_stats())
+    }
+
+    /// Write back every dirty resident page and fsync the page-store file
+    /// (surfacing any sticky writeback error recorded by eviction). A
+    /// no-op `Ok` when the database runs without a store.
+    pub fn flush_store(&self) -> Result<()> {
+        match &self.runtime.store {
+            Some(store) => store.flush().map_err(Error::Storage),
+            None => Ok(()),
+        }
+    }
+
     /// Reclaim pass: epoch queue + transaction-table GC. Returns objects
     /// reclaimed from the epoch queue.
     pub fn reclaim(&self) -> usize {
@@ -473,6 +505,12 @@ impl Drop for Database {
         self.runtime.shutdown();
         if let Some(wal) = &self.runtime.wal {
             let _ = wal.flush();
+        }
+        // After the merge queues drain: persist every dirty resident page
+        // so a reopened store recovers the freshest images. Best-effort,
+        // like the WAL flush — Drop cannot surface errors.
+        if let Some(store) = &self.runtime.store {
+            let _ = store.flush();
         }
     }
 }

@@ -31,6 +31,7 @@ use std::sync::Arc;
 
 use lstore_storage::epoch::EpochManager;
 use lstore_storage::page::BasePage;
+use lstore_storage::store::{PagePtr, PageStore};
 use lstore_storage::NULL_VALUE;
 use lstore_txn::{TxnManager, TxnStatus};
 
@@ -133,11 +134,16 @@ pub fn earliest_unmerged_ts(range: &UpdateRange, mgr: &TxnManager) -> Option<u64
 /// `columns = None` merges all data columns; `Some(subset)` exercises the
 /// paper's *independent per-column merging* (§4.2): only the subset's
 /// `column_tps` advance, and readers detect the divergence (Lemma 3).
+///
+/// When a `store` is configured, freshly built pages are *sealed* into it
+/// (resident dirty buffer-pool frames — no merge-path I/O) so they become
+/// evictable; without one they stay plain heap residents.
 pub fn merge_range(
     range: &UpdateRange,
     mgr: &TxnManager,
     epoch: &EpochManager,
     config: &TableConfig,
+    store: Option<&Arc<PageStore>>,
     limit: Option<u64>,
     columns: Option<&[usize]>,
 ) -> MergeReport {
@@ -199,11 +205,11 @@ pub fn merge_range(
     let mut new_cols: Vec<Option<Vec<u64>>> = (0..ncols).map(|_| None).collect();
     for &c in merge_cols {
         if changed[c] && base.column_tps[c] < upto {
-            new_cols[c] = Some(old_data[c].decode());
+            new_cols[c] = Some(old_data[c].read().decode());
         }
     }
-    let mut new_lu = old_lu.decode();
-    let mut new_enc = old_enc.decode();
+    let mut new_lu = old_lu.read().decode();
+    let mut new_enc = old_enc.read().decode();
 
     // Step 3: reverse scan with a per-(slot, column) seen-set.
     let mut seen = vec![0u64; len]; // bitmaps per slot
@@ -249,7 +255,7 @@ pub fn merge_range(
                     v[slot] = NULL_VALUE;
                 } else if changed[c] {
                     // Force materialization for delete nulling.
-                    let mut decoded = old_data[c].decode();
+                    let mut decoded = old_data[c].read().decode();
                     decoded[slot] = NULL_VALUE;
                     *col = Some(decoded);
                 }
@@ -287,11 +293,12 @@ pub fn merge_range(
         }
     }
 
-    // Re-compress changed columns; unchanged ones share the old Arc.
-    let data: Vec<Arc<BasePage>> = (0..ncols)
+    // Re-compress changed columns; unchanged ones share the old pointer
+    // (and, when store-backed, the old frame — no image is duplicated).
+    let data: Vec<PagePtr> = (0..ncols)
         .map(|c| match new_cols[c].take() {
-            Some(values) => Arc::new(BasePage::from_values(&values, config.codec)),
-            None => Arc::clone(&old_data[c]),
+            Some(values) => PagePtr::seal(store, BasePage::from_values(&values, config.codec)),
+            None => old_data[c].clone(),
         })
         .collect();
     let column_tps: Vec<u64> = (0..ncols)
@@ -305,12 +312,15 @@ pub fn merge_range(
         .collect();
     let tps = column_tps.iter().copied().min().unwrap_or(upto);
     // Scan fast-path metadata (§4.2's stable lineage makes these cheap to
-    // maintain per merged version).
-    let max_start = (0..len)
-        .map(|s| old_start.get(s))
-        .filter(|&v| v != NULL_VALUE)
-        .max()
-        .unwrap_or(0);
+    // maintain per merged version). One pin covers the whole pass.
+    let max_start = {
+        let start_page = old_start.read();
+        (0..len)
+            .map(|s| start_page.get(s))
+            .filter(|&v| v != NULL_VALUE)
+            .max()
+            .unwrap_or(0)
+    };
     let max_last_updated = new_lu
         .iter()
         .copied()
@@ -328,9 +338,9 @@ pub fn merge_range(
         data: BaseData::Pages {
             data: data.into_boxed_slice(),
             // "the old Start Time column is remained intact during the merge"
-            start_time: Arc::clone(old_start),
-            last_updated: Arc::new(BasePage::from_values(&new_lu, config.codec)),
-            schema_enc: Arc::new(BasePage::from_values(&new_enc, config.codec)),
+            start_time: old_start.clone(),
+            last_updated: PagePtr::seal(store, BasePage::from_values(&new_lu, config.codec)),
+            schema_enc: PagePtr::seal(store, BasePage::from_values(&new_enc, config.codec)),
         },
     });
 
@@ -366,6 +376,7 @@ pub fn merge_insert_range(
     mgr: &TxnManager,
     epoch: &EpochManager,
     config: &TableConfig,
+    store: Option<&Arc<PageStore>>,
     force: bool,
 ) -> bool {
     let base = range.base();
@@ -412,7 +423,10 @@ pub fn merge_insert_range(
                 }
             })
             .collect();
-        data.push(Arc::new(BasePage::from_values(&values, config.codec)));
+        data.push(PagePtr::seal(
+            store,
+            BasePage::from_values(&values, config.codec),
+        ));
     }
     let enc: Vec<u64> = starts
         .iter()
@@ -440,9 +454,9 @@ pub fn merge_insert_range(
         has_deletes,
         data: BaseData::Pages {
             data: data.into_boxed_slice(),
-            start_time: Arc::new(BasePage::from_values(&starts, config.codec)),
-            last_updated: Arc::new(BasePage::plain(vec![NULL_VALUE; used])),
-            schema_enc: Arc::new(BasePage::from_values(&enc, config.codec)),
+            start_time: PagePtr::seal(store, BasePage::from_values(&starts, config.codec)),
+            last_updated: PagePtr::seal(store, BasePage::plain(vec![NULL_VALUE; used])),
+            schema_enc: PagePtr::seal(store, BasePage::from_values(&enc, config.codec)),
         },
     });
     let outdated = range.swap_base(new_version);

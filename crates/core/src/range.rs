@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use lstore_storage::page::BasePage;
+use lstore_storage::store::PagePtr;
 use lstore_storage::tail::AppendVec;
 use lstore_storage::NULL_VALUE;
 
@@ -59,17 +59,21 @@ impl InsertTail {
 #[derive(Debug)]
 pub enum BaseData {
     /// Read-optimized, compressed, read-only pages (one per data column).
+    /// Pages are held through [`PagePtr`]: plain heap residents by default,
+    /// evictable buffer-pool frames when a page store is configured —
+    /// either way, `read()` yields the same immutable
+    /// [`BasePage`](lstore_storage::page::BasePage).
     Pages {
         /// Data columns.
-        data: Box<[Arc<BasePage>]>,
+        data: Box<[PagePtr]>,
         /// Start Time column — "always preserved (even after the merge)"
         /// (§2.2): original insertion times.
-        start_time: Arc<BasePage>,
+        start_time: PagePtr,
         /// Last Updated Time column, "only populated after the merge process"
         /// (§2.2); `u64::MAX` cells mean never merged-updated.
-        last_updated: Arc<BasePage>,
+        last_updated: PagePtr,
         /// Schema Encoding column for base records (populated by the merge).
-        schema_enc: Arc<BasePage>,
+        schema_enc: PagePtr,
     },
     /// Insert-phase storage (§3.2).
     Insert(Arc<InsertTail>),
@@ -117,7 +121,7 @@ impl BaseVersion {
     #[inline]
     pub fn value(&self, column: usize, slot: u32) -> u64 {
         match &self.data {
-            BaseData::Pages { data, .. } => data[column].get(slot as usize),
+            BaseData::Pages { data, .. } => data[column].read().get(slot as usize),
             BaseData::Insert(t) => t.data[column].get_or_null(slot as usize),
         }
     }
@@ -127,7 +131,7 @@ impl BaseVersion {
     #[inline]
     pub fn start_cell(&self, slot: u32) -> u64 {
         match &self.data {
-            BaseData::Pages { start_time, .. } => start_time.get(slot as usize),
+            BaseData::Pages { start_time, .. } => start_time.read().get(slot as usize),
             BaseData::Insert(t) => t.start_time.get_or_null(slot as usize),
         }
     }
@@ -137,7 +141,7 @@ impl BaseVersion {
     #[inline]
     pub fn last_updated(&self, slot: u32) -> u64 {
         match &self.data {
-            BaseData::Pages { last_updated, .. } => last_updated.get(slot as usize),
+            BaseData::Pages { last_updated, .. } => last_updated.read().get(slot as usize),
             BaseData::Insert(_) => NULL_VALUE,
         }
     }
@@ -146,7 +150,7 @@ impl BaseVersion {
     #[inline]
     pub fn schema_enc(&self, slot: u32) -> u64 {
         match &self.data {
-            BaseData::Pages { schema_enc, .. } => schema_enc.get(slot as usize),
+            BaseData::Pages { schema_enc, .. } => schema_enc.read().get(slot as usize),
             BaseData::Insert(_) => 0,
         }
     }
@@ -158,7 +162,9 @@ impl BaseVersion {
         matches!(self.data, BaseData::Insert(_))
     }
 
-    /// Total encoded bytes of the base pages (0 for insert phase).
+    /// Total encoded bytes of the *memory-resident* base pages (0 for
+    /// insert phase). Evicted store-backed pages count zero: measuring
+    /// memory must not fault them back in.
     pub fn encoded_bytes(&self) -> usize {
         match &self.data {
             BaseData::Pages {
@@ -167,10 +173,10 @@ impl BaseVersion {
                 last_updated,
                 schema_enc,
             } => {
-                data.iter().map(|p| p.encoded_bytes()).sum::<usize>()
-                    + start_time.encoded_bytes()
-                    + last_updated.encoded_bytes()
-                    + schema_enc.encoded_bytes()
+                data.iter().map(|p| p.resident_bytes()).sum::<usize>()
+                    + start_time.resident_bytes()
+                    + last_updated.resident_bytes()
+                    + schema_enc.resident_bytes()
             }
             BaseData::Insert(_) => 0,
         }
@@ -381,6 +387,7 @@ impl UpdateRange {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lstore_storage::page::BasePage;
 
     #[test]
     fn latch_protocol() {
@@ -420,10 +427,10 @@ mod tests {
             max_last_updated: 0,
             has_deletes: false,
             data: BaseData::Pages {
-                data: vec![Arc::new(BasePage::plain(vec![1, 2, 3, 4]))].into_boxed_slice(),
-                start_time: Arc::new(BasePage::plain(vec![0; 4])),
-                last_updated: Arc::new(BasePage::plain(vec![NULL_VALUE; 4])),
-                schema_enc: Arc::new(BasePage::plain(vec![0; 4])),
+                data: vec![PagePtr::resident(BasePage::plain(vec![1, 2, 3, 4]))].into_boxed_slice(),
+                start_time: PagePtr::resident(BasePage::plain(vec![0; 4])),
+                last_updated: PagePtr::resident(BasePage::plain(vec![NULL_VALUE; 4])),
+                schema_enc: PagePtr::resident(BasePage::plain(vec![0; 4])),
             },
         });
         let retired = r.swap_base(new);

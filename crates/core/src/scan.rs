@@ -45,7 +45,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use lstore_storage::compress::{Compressed, RowMask};
-use lstore_storage::page::BasePage;
+use lstore_storage::store::{PagePtr, PageRead};
 use lstore_storage::NULL_VALUE;
 
 use crate::range::{BaseData, BaseVersion, UpdateRange};
@@ -78,7 +78,7 @@ fn clean_range_page<'a>(
     base: &'a BaseVersion,
     col: usize,
     ts: u64,
-) -> Option<&'a BasePage> {
+) -> Option<PageRead<'a>> {
     if base.has_deletes
         || base.max_start == u64::MAX
         || base.max_start > ts
@@ -90,7 +90,7 @@ fn clean_range_page<'a>(
         return None; // unmerged updates may supersede base values
     }
     match &base.data {
-        BaseData::Pages { data, .. } => Some(&data[col]),
+        BaseData::Pages { data, .. } => Some(data[col].read()),
         BaseData::Insert(_) => None,
     }
 }
@@ -99,7 +99,7 @@ fn clean_range_page<'a>(
 /// time fits the snapshot (`max_start` tracks raw Start Time cells, so
 /// unresolved transaction ids — bit 63 set — disqualify the range exactly
 /// like they always disqualified [`clean_range_page`]).
-fn eligible_pages(base: &BaseVersion, ts: u64) -> Option<&[Arc<BasePage>]> {
+fn eligible_pages(base: &BaseVersion, ts: u64) -> Option<&[PagePtr]> {
     if base.max_start == u64::MAX || base.max_start > ts {
         return None;
     }
@@ -182,7 +182,9 @@ impl Table {
     ) -> Option<u64> {
         let mask = self.visibility_mask(range, base, &[col], ts, lo, hi)?;
         let pages = eligible_pages(base, ts).expect("mask implies eligible pages");
-        let mut sum = pages[col].sum_range_masked(lo as usize, hi as usize, &mask);
+        // One pin covers the whole window; an evicted page faults in here.
+        let page = pages[col].read();
+        let mut sum = page.sum_range_masked(lo as usize, hi as usize, &mask);
         if !mask.all_visible() {
             let reader = self.reader(range, base);
             let mode = ReadMode::as_of(ts);
@@ -390,7 +392,7 @@ impl Table {
             return false;
         };
         let pages = eligible_pages(base, ts).expect("mask implies eligible pages");
-        let (gpage, vpage) = (&pages[gcol], &pages[vcol]);
+        let (gpage, vpage) = (pages[gcol].read(), pages[vcol].read());
         match gpage.compressed() {
             Compressed::Rle(runs) => {
                 for (start, end, gval) in runs.runs_in(0, slots as usize) {

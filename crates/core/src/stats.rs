@@ -57,6 +57,12 @@ impl TableStats {
             historic_compressed: self.historic_compressed.load(Ordering::Relaxed),
             fast_path_reads: self.fast_path_reads.load(Ordering::Relaxed),
             chain_reads: self.chain_reads.load(Ordering::Relaxed),
+            pool_resident: 0,
+            pool_pinned: 0,
+            pool_hits: 0,
+            pool_faults: 0,
+            pool_evictions: 0,
+            pool_writebacks: 0,
         }
     }
 }
@@ -79,6 +85,12 @@ impl StatsSnapshot {
             historic_compressed,
             fast_path_reads,
             chain_reads,
+            pool_resident,
+            pool_pinned,
+            pool_hits,
+            pool_faults,
+            pool_evictions,
+            pool_writebacks,
         } = *other;
         self.inserts += inserts;
         self.updates += updates;
@@ -91,6 +103,16 @@ impl StatsSnapshot {
         self.historic_compressed += historic_compressed;
         self.fast_path_reads += fast_path_reads;
         self.chain_reads += chain_reads;
+        // Buffer-pool fields describe the one database-global pool, not a
+        // per-shard block: `max` keeps the stamped value intact whether the
+        // other side is an unstamped shard block (zeros) or another table's
+        // view of the same pool (equal values) — never double-counting.
+        self.pool_resident = self.pool_resident.max(pool_resident);
+        self.pool_pinned = self.pool_pinned.max(pool_pinned);
+        self.pool_hits = self.pool_hits.max(pool_hits);
+        self.pool_faults = self.pool_faults.max(pool_faults);
+        self.pool_evictions = self.pool_evictions.max(pool_evictions);
+        self.pool_writebacks = self.pool_writebacks.max(pool_writebacks);
     }
 }
 
@@ -119,4 +141,19 @@ pub struct StatsSnapshot {
     pub fast_path_reads: u64,
     /// Chain-walk reads.
     pub chain_reads: u64,
+    /// Buffer-pool gauge: base-page frames currently resident in memory
+    /// (0 when the database runs without a page store). The eviction
+    /// invariant `pool_resident <= budget + pool_pinned` holds at every
+    /// snapshot, absent writeback failures pinning dirty victims.
+    pub pool_resident: u64,
+    /// Buffer-pool gauge: outstanding page pins (reader guards in flight).
+    pub pool_pinned: u64,
+    /// Buffer-pool counter: pins served from a resident frame.
+    pub pool_hits: u64,
+    /// Buffer-pool counter: pins that faulted the page in from the store.
+    pub pool_faults: u64,
+    /// Buffer-pool counter: frames evicted to enforce the budget.
+    pub pool_evictions: u64,
+    /// Buffer-pool counter: dirty-frame writebacks (eviction or flush).
+    pub pool_writebacks: u64,
 }

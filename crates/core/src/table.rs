@@ -143,6 +143,17 @@ impl Table {
         for shard in self.shards.iter() {
             total.absorb(&shard.stats.snapshot());
         }
+        // Stamp the database-global buffer-pool gauges after the per-shard
+        // absorb loop (shard blocks never carry pool fields).
+        if let Some(store) = self.runtime.page_store() {
+            let pool = store.pool_stats();
+            total.pool_resident = pool.resident;
+            total.pool_pinned = pool.pinned;
+            total.pool_hits = pool.hits;
+            total.pool_faults = pool.faults;
+            total.pool_evictions = pool.evictions;
+            total.pool_writebacks = pool.writebacks;
+        }
         total
     }
 
@@ -1022,6 +1033,7 @@ impl Table {
                 &self.runtime.mgr,
                 &self.runtime.epoch,
                 &self.config,
+                self.runtime.page_store(),
                 force_seal,
             ) {
                 TableStats::bump(&stats.insert_merges);
@@ -1034,6 +1046,7 @@ impl Table {
             &self.runtime.mgr,
             &self.runtime.epoch,
             &self.config,
+            self.runtime.page_store(),
             None,
             None,
         );
@@ -1097,6 +1110,7 @@ impl Table {
             &self.runtime.mgr,
             &self.runtime.epoch,
             &self.config,
+            self.runtime.page_store(),
             None,
             Some(&cols),
         ))
@@ -1129,6 +1143,7 @@ impl Table {
                     &self.runtime.mgr,
                     &self.runtime.epoch,
                     &self.config,
+                    self.runtime.page_store(),
                     Some(limit),
                     None,
                 );

@@ -18,6 +18,10 @@
 //!   the merge have drained (§4.1.1 step 5, Fig. 6).
 //! * **Disk persistence** ([`disk`]) — a simple page-image file format so
 //!   base and tail pages are "persisted identically" (§2.1).
+//! * **Buffer-pool page store** ([`store`]) — sealed base pages live in a
+//!   page file behind a capacity-budgeted buffer pool with
+//!   clock/second-chance eviction, so datasets outgrow RAM while readers
+//!   stay oblivious to page residency.
 //!
 //! All value cells are `u64`; the paper's implicit special null ∅ is
 //! represented by [`NULL_VALUE`].
@@ -28,6 +32,7 @@ pub mod disk;
 pub mod epoch;
 pub mod error;
 pub mod page;
+pub mod store;
 pub mod tail;
 
 pub use error::{StorageError, StorageResult};

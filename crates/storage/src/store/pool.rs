@@ -1,0 +1,357 @@
+//! Buffer-pool frames, pin accounting, and clock/second-chance eviction.
+//!
+//! A [`Frame`] is the unit of residency: one stable page id plus a slot
+//! that either holds the cached [`BasePage`] or is empty (evicted). Readers
+//! pin frames through [`PinnedPage`] guards; the pool only ever evicts
+//! frames with zero pins, so a guard is a hard residency guarantee for as
+//! long as it lives — the same contract the epoch mechanism gives retired
+//! base-page *versions*, applied one level down to page *images*.
+//!
+//! Eviction is the classic clock (second chance): a hand sweeps the frame
+//! list, clearing reference bits, skipping pinned frames, and evicting the
+//! first unpinned frame whose bit was already clear. Dirty victims are
+//! written back through a caller-supplied writeback function before the
+//! slot is dropped, so the file always holds a decodable image of every
+//! evicted page.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::BasePage;
+
+/// Shared pool counters. Gauges (`resident`, `pinned`) track live state;
+/// the rest are monotonic event counters.
+///
+/// Update ordering maintains the invariant `resident ≤ budget + pinned`
+/// at every observable instant (absent writeback failures, which park a
+/// dirty frame resident): admission paths bump `pinned` *before*
+/// `resident`, and the admitting pin is only released after the budget
+/// sweep has run.
+#[derive(Debug, Default)]
+pub(crate) struct PoolStats {
+    pub(crate) resident: AtomicU64,
+    pub(crate) pinned: AtomicU64,
+    pub(crate) hits: AtomicU64,
+    pub(crate) faults: AtomicU64,
+    pub(crate) evictions: AtomicU64,
+    pub(crate) writebacks: AtomicU64,
+}
+
+/// Point-in-time copy of the pool counters plus the configured budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStatsSnapshot {
+    /// Frames whose slot currently holds a page.
+    pub resident: u64,
+    /// Outstanding [`PinnedPage`] guards.
+    pub pinned: u64,
+    /// Pins satisfied without touching the page file.
+    pub hits: u64,
+    /// Pins that had to read and decode a page image (misses).
+    pub faults: u64,
+    /// Frames whose slot was dropped by the clock sweep.
+    pub evictions: u64,
+    /// Dirty pages encoded and appended to the page file.
+    pub writebacks: u64,
+    /// Capacity budget in frames (`None` = unbounded).
+    pub budget: Option<u64>,
+}
+
+impl PoolStatsSnapshot {
+    /// Hit fraction of all pin requests, in `[0, 1]`; `1.0` before any
+    /// request (an empty window has no misses).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.faults;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One buffer-pool frame: a stable page id plus an evictable page slot.
+pub(crate) struct Frame {
+    /// Stable id of this page in the store file.
+    pub(crate) id: u64,
+    /// The cached page; `None` when evicted.
+    pub(crate) slot: RwLock<Option<Arc<BasePage>>>,
+    /// Outstanding pins; the clock never evicts a pinned frame.
+    pub(crate) pins: AtomicU64,
+    /// Clock reference bit (second chance).
+    pub(crate) referenced: AtomicBool,
+    /// True while the cached page has no up-to-date image in the file.
+    pub(crate) dirty: AtomicBool,
+    stats: Arc<PoolStats>,
+}
+
+impl Frame {
+    pub(crate) fn new(
+        id: u64,
+        page: Option<Arc<BasePage>>,
+        dirty: bool,
+        stats: Arc<PoolStats>,
+    ) -> Frame {
+        Frame {
+            id,
+            slot: RwLock::new(page),
+            pins: AtomicU64::new(0),
+            referenced: AtomicBool::new(false),
+            dirty: AtomicBool::new(dirty),
+            stats,
+        }
+    }
+
+    /// Pin this frame around `page`. The caller must hold (or be inside the
+    /// critical section that installs) the page in `self.slot`; the
+    /// returned guard keeps the frame unevictable until dropped.
+    pub(crate) fn pin_with(self: &Arc<Self>, page: Arc<BasePage>) -> PinnedPage {
+        self.pins.fetch_add(1, Ordering::SeqCst);
+        self.stats.pinned.fetch_add(1, Ordering::SeqCst);
+        self.referenced.store(true, Ordering::SeqCst);
+        PinnedPage {
+            page,
+            frame: Arc::clone(self),
+        }
+    }
+}
+
+impl Drop for Frame {
+    fn drop(&mut self) {
+        // A frame dying with its page still installed (version retired by
+        // the epoch mechanism while resident) leaves the resident gauge.
+        if self.slot.get_mut().is_some() {
+            self.stats.resident.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+impl fmt::Debug for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Frame")
+            .field("id", &self.id)
+            .field("pins", &self.pins.load(Ordering::Relaxed))
+            .field("dirty", &self.dirty.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// A pinned, dereferenceable base page. Dropping the guard unpins the
+/// frame, making it evictable again.
+pub struct PinnedPage {
+    page: Arc<BasePage>,
+    frame: Arc<Frame>,
+}
+
+impl Deref for PinnedPage {
+    type Target = BasePage;
+
+    #[inline]
+    fn deref(&self) -> &BasePage {
+        &self.page
+    }
+}
+
+impl Drop for PinnedPage {
+    fn drop(&mut self) {
+        self.frame.pins.fetch_sub(1, Ordering::SeqCst);
+        self.frame.stats.pinned.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl fmt::Debug for PinnedPage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PinnedPage(id={})", self.frame.id)
+    }
+}
+
+/// Outcome of one eviction attempt.
+pub(crate) enum EvictOutcome {
+    /// A frame's slot was dropped (after writeback if it was dirty).
+    Evicted,
+    /// No evictable frame exists right now (everything pinned/referenced).
+    NoVictim,
+    /// A dirty victim's writeback failed; the frame stays resident and
+    /// dirty — nothing was corrupted, but the budget cannot be met.
+    WritebackFailed(StorageError),
+}
+
+/// Clock state: the registered frames and the sweep hand.
+struct Clock {
+    frames: Vec<Weak<Frame>>,
+    hand: usize,
+}
+
+/// Capacity-budgeted frame cache with clock/second-chance eviction.
+///
+/// The pool holds frames weakly: frame lifetime belongs to the `PagePtr`s
+/// embedded in base versions, which the engine retires through the epoch
+/// mechanism. Dead weak entries are pruned as the hand passes them.
+pub(crate) struct BufferPool {
+    budget: Option<u64>,
+    clock: Mutex<Clock>,
+    stats: Arc<PoolStats>,
+}
+
+impl BufferPool {
+    pub(crate) fn new(budget: Option<usize>) -> BufferPool {
+        BufferPool {
+            budget: budget.map(|b| b.max(1) as u64),
+            clock: Mutex::new(Clock {
+                frames: Vec::new(),
+                hand: 0,
+            }),
+            stats: Arc::new(PoolStats::default()),
+        }
+    }
+
+    pub(crate) fn budget(&self) -> Option<usize> {
+        self.budget.map(|b| b as usize)
+    }
+
+    pub(crate) fn stats(&self) -> &Arc<PoolStats> {
+        &self.stats
+    }
+
+    /// Register a frame with the clock.
+    pub(crate) fn register(&self, frame: &Arc<Frame>) {
+        self.clock.lock().frames.push(Arc::downgrade(frame));
+    }
+
+    /// Snapshot the live frames (for flush sweeps).
+    pub(crate) fn live_frames(&self) -> Vec<Arc<Frame>> {
+        self.clock
+            .lock()
+            .frames
+            .iter()
+            .filter_map(Weak::upgrade)
+            .collect()
+    }
+
+    /// Fast path: pin `frame` if its page is resident. Counts a hit.
+    pub(crate) fn try_pin(&self, frame: &Arc<Frame>) -> Option<PinnedPage> {
+        let slot = frame.slot.read();
+        let page = Arc::clone(slot.as_ref()?);
+        // Pin under the read lock: the evictor requires the write lock to
+        // clear the slot and re-checks pins while holding it, so a pin
+        // taken here is never raced away.
+        let pinned = frame.pin_with(page);
+        drop(slot);
+        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        Some(pinned)
+    }
+
+    /// Evict until the resident gauge is back under the budget. Pinned
+    /// frames are exempt, so `resident` may legitimately settle at
+    /// `budget + pinned`. A writeback failure stops the sweep and is
+    /// returned; the victim stays resident and dirty.
+    pub(crate) fn enforce_budget(
+        &self,
+        writeback: &mut dyn FnMut(u64, &BasePage) -> StorageResult<()>,
+    ) -> StorageResult<()> {
+        let Some(budget) = self.budget else {
+            return Ok(());
+        };
+        while self.stats.resident.load(Ordering::SeqCst) > budget {
+            match self.evict_one(writeback) {
+                EvictOutcome::Evicted => continue,
+                EvictOutcome::NoVictim => break,
+                EvictOutcome::WritebackFailed(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// One clock sweep step: advance the hand until a victim is evicted or
+    /// two full revolutions found nothing evictable.
+    fn evict_one(
+        &self,
+        writeback: &mut dyn FnMut(u64, &BasePage) -> StorageResult<()>,
+    ) -> EvictOutcome {
+        let sweep_limit = {
+            let clock = self.clock.lock();
+            clock.frames.len().saturating_mul(2).max(1)
+        };
+        for _ in 0..sweep_limit {
+            // Hold the clock lock only to pick the next candidate; the
+            // slot locks are taken without it, so pin/fault paths never
+            // wait on the sweep.
+            let candidate = {
+                let mut clock = self.clock.lock();
+                if clock.frames.is_empty() {
+                    return EvictOutcome::NoVictim;
+                }
+                if clock.hand >= clock.frames.len() {
+                    clock.hand = 0;
+                }
+                let at = clock.hand;
+                match clock.frames[at].upgrade() {
+                    Some(frame) => {
+                        clock.hand += 1;
+                        frame
+                    }
+                    None => {
+                        // Prune the dead entry; the hand stays, now
+                        // pointing at the swapped-in tail frame.
+                        clock.frames.swap_remove(at);
+                        continue;
+                    }
+                }
+            };
+            if candidate.pins.load(Ordering::SeqCst) > 0 {
+                continue;
+            }
+            if candidate.referenced.swap(false, Ordering::SeqCst) {
+                continue; // second chance
+            }
+            let Some(mut slot) = candidate.slot.try_write() else {
+                continue; // mid-fault or mid-pin; look elsewhere
+            };
+            let Some(page) = slot.clone() else {
+                continue; // already evicted
+            };
+            // Pins are taken under the slot read lock, so holding the
+            // write lock freezes the count; anything >0 pinned before us.
+            if candidate.pins.load(Ordering::SeqCst) > 0 {
+                continue;
+            }
+            if candidate.dirty.load(Ordering::SeqCst) {
+                if let Err(e) = writeback(candidate.id, &page) {
+                    return EvictOutcome::WritebackFailed(e);
+                }
+                candidate.dirty.store(false, Ordering::SeqCst);
+                self.stats.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+            *slot = None;
+            self.stats.resident.fetch_sub(1, Ordering::SeqCst);
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            return EvictOutcome::Evicted;
+        }
+        EvictOutcome::NoVictim
+    }
+
+    pub(crate) fn snapshot(&self) -> PoolStatsSnapshot {
+        PoolStatsSnapshot {
+            resident: self.stats.resident.load(Ordering::SeqCst),
+            pinned: self.stats.pinned.load(Ordering::SeqCst),
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            faults: self.stats.faults.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            writebacks: self.stats.writebacks.load(Ordering::Relaxed),
+            budget: self.budget,
+        }
+    }
+}
+
+impl fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("budget", &self.budget)
+            .field("stats", &self.snapshot())
+            .finish_non_exhaustive()
+    }
+}

@@ -79,6 +79,7 @@ fn merge_with_limit_batches_consume_incrementally() {
                     &rt.mgr,
                     &rt.epoch,
                     t.config(),
+                    None,
                     Some(64),
                     None,
                 );
